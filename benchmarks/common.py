@@ -1,0 +1,94 @@
+"""Shared configuration and method factories for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's §VI at a
+laptop scale (see DESIGN.md for the scale mapping).  Set ``REPRO_BENCH_FULL=1``
+for larger sizes / more epochs — closer to the paper's regime but
+minutes-per-table instead of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.core import SCIS, DimConfig, ScisConfig
+from repro.models import make_imputer
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+# Scaled dataset sizes (rows) per named generator.  The paper's full sizes
+# are in repro.data.SPECS; these keep every bench CPU-friendly while keeping
+# the small-vs-million-size contrast of Tables III vs IV.
+SIZES = {
+    "trial": 1500 if not FULL else 6433,
+    "emergency": 1200 if not FULL else 8364,
+    "response": 2500 if not FULL else 20000,
+    "search": 1200 if not FULL else 5000,
+    "weather": 6000 if not FULL else 50000,
+    "surveil": 8000 if not FULL else 60000,
+}
+
+# Epochs for the deep methods (paper: 100); the per-dataset SCIS initial
+# sample sizes n0 mirror the paper's ratios at our scale.
+EPOCHS = 25 if not FULL else 100
+INITIAL_SIZES = {
+    "trial": 120,
+    "emergency": 100,
+    "response": 150,
+    "search": 100,
+    "weather": 250,
+    "surveil": 250,
+}
+
+# The user-tolerated error bound ε.  The paper uses 0.001 at million scale;
+# our datasets are ~100× smaller, so the equivalent operating point (same
+# R_t ballpark) is reached around 0.02 — see EXPERIMENTS.md for the mapping.
+ERROR_BOUND = 0.02
+
+# Per-method wall-clock budget standing in for the paper's 1e5-second cutoff.
+TIME_BUDGET = 120.0 if not FULL else 3600.0
+
+N_SEEDS = 1 if not FULL else 5
+
+
+def scis_config(dataset: str, seed: int, epochs: int = EPOCHS, **overrides) -> ScisConfig:
+    """The §VI SCIS configuration at bench scale for one dataset."""
+    base = dict(
+        initial_size=INITIAL_SIZES[dataset],
+        error_bound=ERROR_BOUND,
+        dim=DimConfig(epochs=epochs),
+        seed=seed,
+    )
+    base.update(overrides)
+    return ScisConfig(**base)
+
+
+def baseline_factories(epochs: int = EPOCHS) -> Dict[str, Callable[[int], object]]:
+    """The non-GAN baselines of Table III, scaled-down settings."""
+    return {
+        "missf": lambda s: make_imputer("missforest", n_trees=10, max_depth=6, seed=s),
+        "baran": lambda s: make_imputer("baran", n_estimators=10, seed=s),
+        "mice": lambda s: make_imputer("mice", n_imputations=5, seed=s),
+        "datawig": lambda s: make_imputer("datawig", epochs=epochs, seed=s),
+        "rrsi": lambda s: make_imputer("rrsi", epochs=epochs * 2, seed=s),
+        "midae": lambda s: make_imputer("midae", epochs=epochs, seed=s),
+        "vaei": lambda s: make_imputer("vaei", epochs=epochs, seed=s),
+        "miwae": lambda s: make_imputer("miwae", epochs=epochs, seed=s),
+        "eddi": lambda s: make_imputer("eddi", epochs=epochs, seed=s),
+        "hivae": lambda s: make_imputer("hivae", epochs=epochs, seed=s),
+    }
+
+
+def gan_factories(dataset: str, epochs: int = EPOCHS) -> Dict[str, Callable[[int], object]]:
+    """GAIN / GINN and their SCIS-wrapped counterparts."""
+    return {
+        "ginn": lambda s: make_imputer("ginn", epochs=max(2, epochs // 4), seed=s),
+        "scis-ginn": lambda s: SCIS(
+            make_imputer("ginn", epochs=max(2, epochs // 4), seed=s),
+            scis_config(dataset, s, epochs=max(2, epochs // 4)),
+        ),
+        "gain": lambda s: make_imputer("gain", epochs=epochs, seed=s),
+        "scis-gain": lambda s: SCIS(
+            make_imputer("gain", epochs=epochs, seed=s), scis_config(dataset, s)
+        ),
+    }

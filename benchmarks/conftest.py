@@ -1,0 +1,22 @@
+"""Pytest glue for the benchmark suite.
+
+Each bench prints its markdown table; run with ``-s`` to see them, e.g.::
+
+    pytest benchmarks/test_table3_small_datasets.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import EPOCHS, ERROR_BOUND, INITIAL_SIZES, N_SEEDS, SIZES, TIME_BUDGET
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return {
+        "sizes": SIZES,
+        "epochs": EPOCHS,
+        "initial_sizes": INITIAL_SIZES,
+        "error_bound": ERROR_BOUND,
+        "time_budget": TIME_BUDGET,
+        "n_seeds": N_SEEDS,
+    }

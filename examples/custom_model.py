@@ -1,0 +1,113 @@
+"""Plugging your own GAN imputer into SCIS.
+
+SCIS is model-agnostic: anything implementing the
+:class:`repro.models.GenerativeImputer` contract — a generator Module, noise
+sampling, and a differentiable batch reconstruction — gets the DIM
+(masking-Sinkhorn training) and SSE (minimum-sample-size) machinery for free.
+
+This example defines a minimal "residual generator" imputer from scratch and
+runs SCIS over it.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import DimConfig, MinMaxNormalizer, SCIS, ScisConfig
+from repro.data import generate, holdout_split
+from repro.models import GAINImputer
+from repro.models.base import GenerativeImputer
+from repro.nn import Linear, ReLU, Sequential, Sigmoid
+from repro.optim import Adam
+from repro.tensor import Tensor, no_grad, ops
+
+
+class ResidualGenerator(GenerativeImputer):
+    """A tiny GAN-free generative imputer: x̄ = σ(x̃ + f([x̃, m])).
+
+    It has no discriminator of its own (``adversarial_step`` is a no-op), so
+    DIM trains it purely through the masking Sinkhorn divergence — the
+    "differentiable imputation model" in its purest form.
+    """
+
+    name = "residual"
+
+    def __init__(self, hidden: int = 24, seed: int = 0) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.rng = np.random.default_rng(seed)
+        self._net = None
+        self._column_means = None
+
+    @property
+    def generator(self):
+        if self._net is None:
+            raise RuntimeError("call build() first")
+        return self._net
+
+    def build(self, n_features, rng=None):
+        if rng is not None:
+            self.rng = rng
+        self._net = Sequential(
+            Linear(2 * n_features, self.hidden, rng=self.rng),
+            ReLU(),
+            Linear(self.hidden, n_features, rng=self.rng),
+        )
+
+    def sample_noise(self, shape, rng):
+        return rng.uniform(0.0, 0.01, size=shape)
+
+    def reconstruct_batch(self, values, mask, noise):
+        filled = np.nan_to_num(np.asarray(values, dtype=float), nan=0.0)
+        mask = np.asarray(mask, dtype=float)
+        x_tilde = mask * filled + (1.0 - mask) * noise
+        features = ops.concat([Tensor(x_tilde), Tensor(mask)], axis=1)
+        return ops.sigmoid(Tensor(x_tilde) + self._net(features))
+
+    def adversarial_step(self, values, mask, rng):
+        return {}  # no adversarial game: DIM's MS loss is the only signal
+
+    # Plain Imputer API so it can also be used outside SCIS -------------
+    def fit(self, dataset):
+        from repro.core import DIM, DimConfig as _DimConfig
+
+        DIM(_DimConfig(epochs=30, use_adversarial=False)).train(
+            self, dataset, self.rng
+        )
+        return self
+
+    def reconstruct(self, values, mask):
+        noise = self.sample_noise(np.asarray(mask).shape, np.random.default_rng(0))
+        with no_grad():
+            return self.reconstruct_batch(values, mask, noise).data
+
+
+def main() -> None:
+    generated = generate("emergency", n_samples=2000, seed=5)
+    normalized = MinMaxNormalizer().fit_transform(generated.dataset)
+    holdout = holdout_split(normalized, 0.2, np.random.default_rng(0))
+
+    config = ScisConfig(
+        initial_size=200,
+        error_bound=0.02,
+        dim=DimConfig(epochs=30, use_adversarial=False),
+        seed=0,
+    )
+    custom = SCIS(ResidualGenerator(seed=0), config).fit_transform(holdout.train)
+    print(
+        f"SCIS + custom residual model: rmse={holdout.rmse(custom.imputed):.4f} "
+        f"n*={custom.n_star} (R_t={custom.sample_rate:.1%})"
+    )
+
+    reference = SCIS(
+        GAINImputer(seed=0),
+        ScisConfig(initial_size=200, error_bound=0.02, dim=DimConfig(epochs=30), seed=0),
+    ).fit_transform(holdout.train)
+    print(
+        f"SCIS + GAIN (reference):      rmse={holdout.rmse(reference.imputed):.4f} "
+        f"n*={reference.n_star} (R_t={reference.sample_rate:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

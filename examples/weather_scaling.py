@@ -1,0 +1,66 @@
+"""Scalability study: how SCIS's training sample rate shrinks as data grows.
+
+The paper's headline: on million-size tables SCIS trains GAN imputers on
+~1.5 % of the rows with competitive accuracy.  The SSE theory predicts the
+minimum sample size n* is (asymptotically) independent of the total size N —
+so the sample rate n*/N falls as the weather table grows.  This example
+traces that curve.
+
+Run:  python examples/weather_scaling.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SCIS, DimConfig, GAINImputer, MinMaxNormalizer, ScisConfig
+from repro.data import generate, holdout_split
+
+
+def run_at_scale(n_samples: int) -> dict:
+    generated = generate("weather", n_samples=n_samples, seed=11)
+    normalized = MinMaxNormalizer().fit_transform(generated.dataset)
+    holdout = holdout_split(normalized, 0.2, np.random.default_rng(1))
+
+    config = ScisConfig(
+        initial_size=250,
+        error_bound=0.015,
+        dim=DimConfig(epochs=25),
+        seed=0,
+    )
+    start = time.perf_counter()
+    scis_result = SCIS(GAINImputer(seed=0), config).fit_transform(holdout.train)
+    scis_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    gain_imputed = GAINImputer(epochs=25, seed=0).fit_transform(holdout.train)
+    gain_seconds = time.perf_counter() - start
+
+    return {
+        "N": n_samples,
+        "n_star": scis_result.n_star,
+        "rate": scis_result.sample_rate,
+        "scis_rmse": holdout.rmse(scis_result.imputed),
+        "scis_s": scis_seconds,
+        "gain_rmse": holdout.rmse(gain_imputed),
+        "gain_s": gain_seconds,
+    }
+
+
+def main() -> None:
+    print(f"{'N':>8}{'n*':>8}{'R_t':>8}{'SCIS rmse':>11}{'GAIN rmse':>11}"
+          f"{'SCIS s':>8}{'GAIN s':>8}{'speedup':>9}")
+    for n_samples in (2000, 6000, 20000):
+        row = run_at_scale(n_samples)
+        speedup = row["gain_s"] / row["scis_s"] if row["scis_s"] > 0 else float("inf")
+        print(
+            f"{row['N']:>8}{row['n_star']:>8}{row['rate']:>8.1%}"
+            f"{row['scis_rmse']:>11.4f}{row['gain_rmse']:>11.4f}"
+            f"{row['scis_s']:>8.1f}{row['gain_s']:>8.1f}{speedup:>8.2f}x"
+        )
+    print("\nExpected shape: n* roughly saturates, so R_t falls with N and the")
+    print("speedup over full-data GAIN grows — the paper's Table IV behaviour.")
+
+
+if __name__ == "__main__":
+    main()

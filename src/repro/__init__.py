@@ -1,0 +1,49 @@
+"""SCIS — differentiable and scalable generative adversarial data imputation.
+
+Reproduction of Wu et al., "Differentiable and Scalable Generative
+Adversarial Models for Data Imputation" (ICDE 2024).
+
+Quick start::
+
+    import numpy as np
+    from repro import SCIS, ScisConfig, GAINImputer
+    from repro.data import generate, MinMaxNormalizer
+
+    data = generate("trial").dataset
+    normalized = MinMaxNormalizer().fit_transform(data)
+    result = SCIS(GAINImputer(), ScisConfig(initial_size=200)).fit_transform(normalized)
+    print(result.n_star, result.sample_rate)
+
+Subpackages
+-----------
+``repro.tensor``   reverse-mode autodiff on NumPy
+``repro.nn``       neural layers / losses; ``repro.optim`` optimisers
+``repro.ot``       optimal transport: Sinkhorn, masking Sinkhorn divergence
+``repro.data``     incomplete datasets, missingness, COVID-like generators
+``repro.models``   GAIN, GINN, and the 10+ baselines of Tables III/IV
+``repro.core``     SCIS itself: DIM + SSE + Algorithm 1
+``repro.metrics``  masked RMSE/MAE, AUC, post-imputation prediction
+``repro.bench``    the harness behind every reproduced table and figure
+"""
+
+from .core import DIM, SCIS, SSE, DimConfig, ScisConfig, ScisResult, SseConfig
+from .data import IncompleteDataset, MinMaxNormalizer
+from .models import GAINImputer, GINNImputer, make_imputer
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SCIS",
+    "ScisConfig",
+    "ScisResult",
+    "DIM",
+    "DimConfig",
+    "SSE",
+    "SseConfig",
+    "GAINImputer",
+    "GINNImputer",
+    "make_imputer",
+    "IncompleteDataset",
+    "MinMaxNormalizer",
+    "__version__",
+]

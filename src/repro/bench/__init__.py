@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment runner and table renderers."""
+
+from .charts import ascii_chart, sparkline
+from .runner import BenchCase, MethodResult, prepare_case, run_comparison, run_method
+from .tuning import TuningResult, grid_search
+from .tables import format_series, format_table, results_to_json, save_results
+
+__all__ = [
+    "BenchCase",
+    "MethodResult",
+    "prepare_case",
+    "run_method",
+    "run_comparison",
+    "format_table",
+    "ascii_chart",
+    "sparkline",
+    "format_series",
+    "results_to_json",
+    "save_results",
+    "grid_search",
+    "TuningResult",
+]

@@ -1,0 +1,90 @@
+"""Terminal-friendly charts for the figure benchmarks.
+
+No plotting backend is available offline, so the figure benches render their
+series as unicode line/bar charts alongside the markdown tables — enough to
+eyeball the crossover and trend shapes the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline (nan renders as a space)."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    low, high = finite.min(), finite.max()
+    span = high - low
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[3])
+            continue
+        level = int(round((value - low) / span * (len(_SPARK_LEVELS) - 1)))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_chart(
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render one or more curves on a shared-axis character grid.
+
+    Each series gets a distinct marker; the y-axis is annotated with the data
+    range and the x-axis with the first/last x values.
+    """
+    markers = "*o+x#@%&"
+    all_points = []
+    for values in series.values():
+        all_points.extend(v for v in values if np.isfinite(v))
+    if not all_points:
+        return "(no finite data)"
+    low, high = min(all_points), max(all_points)
+    if high == low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = max(len(values) for values in series.values())
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(values):
+            if not np.isfinite(value):
+                continue
+            col = int(round(i / max(n - 1, 1) * (width - 1)))
+            row = int(round((1.0 - (value - low) / (high - low)) * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.4f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.4f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_values[0]!s:<{width // 2}}{x_values[-1]!s:>{width // 2}}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Render benchmark results as the paper's table / figure-series layouts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .runner import MethodResult
+
+__all__ = ["format_table", "format_series", "results_to_json", "save_results"]
+
+
+def _cell(result: MethodResult) -> str:
+    if not result.available:
+        return "— | — | —"
+    return (
+        f"{result.rmse_mean:.3f} (±{result.rmse_std:.3f}) | "
+        f"{result.seconds:,.1f} | {result.sample_rate * 100:.2f}"
+    )
+
+
+def format_table(results: List[MethodResult], title: str = "") -> str:
+    """Markdown table in the Table III/IV layout.
+
+    One row per method; per dataset three columns: RMSE (bias), time in
+    seconds, and the training sample rate R_t (%).
+    """
+    datasets: List[str] = []
+    methods: List[str] = []
+    for result in results:
+        if result.dataset not in datasets:
+            datasets.append(result.dataset)
+        if result.method not in methods:
+            methods.append(result.method)
+    index: Dict[tuple, MethodResult] = {(r.method, r.dataset): r for r in results}
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+    header = "| Method | " + " | ".join(
+        f"{d}: RMSE (bias) | Time (s) | R_t (%)" for d in datasets
+    ) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (1 + 3 * len(datasets)))
+    for method in methods:
+        cells = []
+        for dataset in datasets:
+            result = index.get((method, dataset))
+            cells.append(_cell(result) if result is not None else "— | — | —")
+        lines.append(f"| {method} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Markdown rendering of a figure: one row per x value, one column per curve."""
+    lengths = {name: len(values) for name, values in series.items()}
+    for name, length in lengths.items():
+        if length != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {length} points but x has {len(x_values)}"
+            )
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+    names = list(series)
+    lines.append("| " + x_label + " | " + " | ".join(names) + " |")
+    lines.append("|" + "---|" * (1 + len(names)))
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name in names:
+            value = series[name][i]
+            row.append(float_format.format(value) if value == value else "—")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def results_to_json(results: List[MethodResult]) -> str:
+    """Serialise results for archival (EXPERIMENTS.md provenance)."""
+    payload = [
+        {
+            "method": r.method,
+            "dataset": r.dataset,
+            "rmse_mean": r.rmse_mean,
+            "rmse_std": r.rmse_std,
+            "seconds": r.seconds,
+            "sample_rate": r.sample_rate,
+            "timed_out": r.timed_out,
+            "extra": r.extra,
+        }
+        for r in results
+    ]
+    return json.dumps(payload, indent=2, allow_nan=True)
+
+
+def save_results(results: List[MethodResult], path: Union[str, Path]) -> None:
+    """Write :func:`results_to_json` output to ``path``."""
+    Path(path).write_text(results_to_json(results))

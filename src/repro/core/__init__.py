@@ -1,0 +1,23 @@
+"""SCIS core: differentiable imputation modeling and sample size estimation."""
+
+from .calibration import CalibrationPoint, calibrate_error_bounds
+from .dim import DIM, DimConfig, DimImputer, DimReport
+from .scis import SCIS, ScisConfig, ScisResult
+from .sse import SSE, SseConfig, SseResult, eta, zeta
+
+__all__ = [
+    "DIM",
+    "DimConfig",
+    "DimReport",
+    "DimImputer",
+    "SSE",
+    "SseConfig",
+    "SseResult",
+    "eta",
+    "zeta",
+    "SCIS",
+    "ScisConfig",
+    "ScisResult",
+    "CalibrationPoint",
+    "calibrate_error_bounds",
+]

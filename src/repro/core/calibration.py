@@ -1,0 +1,85 @@
+"""Cheap ε ↔ sample-size calibration for a trained SCIS model.
+
+After DIM has trained the initial model and SSE has prepared the Hessian,
+the pass-probability test is cheap (forward passes on the validation split
+only).  :func:`calibrate_error_bounds` reuses one prepared SSE instance to
+trace the whole ``ε → n*`` curve without retraining anything — the analysis
+behind a Figure-3-style plot in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.dataset import IncompleteDataset
+from ..models.base import GenerativeImputer
+from .dim import DIM, DimConfig
+from .sse import SSE, SseConfig
+
+__all__ = ["CalibrationPoint", "calibrate_error_bounds"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One point on the ε → n* curve."""
+
+    error_bound: float
+    n_star: int
+    sample_rate: float
+
+
+def calibrate_error_bounds(
+    model: GenerativeImputer,
+    dataset: IncompleteDataset,
+    error_bounds: Sequence[float],
+    initial_size: int = 500,
+    validation_size: int | None = None,
+    dim_config: DimConfig | None = None,
+    seed: int = 0,
+) -> List[CalibrationPoint]:
+    """Trace the minimum sample size for several error bounds at once.
+
+    Trains the initial model once (DIM on ``initial_size`` rows), prepares
+    the SSE Hessian once, then runs the binary search per ε.  Useful to pick
+    an ε that lands at a target training budget before a full SCIS run.
+    """
+    if not error_bounds:
+        raise ValueError("error_bounds must be non-empty")
+    validation_size = validation_size if validation_size is not None else initial_size
+    if initial_size + validation_size > dataset.n_samples:
+        raise ValueError(
+            f"initial + validation = {initial_size + validation_size} exceeds "
+            f"N = {dataset.n_samples}"
+        )
+    rng = np.random.default_rng(seed)
+    split = dataset.split_validation_initial(validation_size, initial_size, rng)
+
+    model.build(dataset.n_features, rng=rng)
+    DIM(dim_config if dim_config is not None else DimConfig()).train(
+        model, split.initial, rng
+    )
+
+    sse = SSE(
+        model,
+        split.validation.values,
+        split.validation.mask,
+        SseConfig(),
+        rng,
+    )
+    sse.prepare(split.initial.values, split.initial.mask)
+
+    points = []
+    for epsilon in sorted(error_bounds):
+        sse.config.error_bound = float(epsilon)
+        result = sse.estimate_minimum_size(initial_size, dataset.n_samples)
+        points.append(
+            CalibrationPoint(
+                error_bound=float(epsilon),
+                n_star=result.n_star,
+                sample_rate=result.sample_rate,
+            )
+        )
+    return points

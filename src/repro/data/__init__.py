@@ -1,0 +1,37 @@
+"""Data layer: incomplete datasets, normalisation, missingness, generators."""
+
+from . import covid
+from .batches import iterate_batches
+from .covid import SPECS, DatasetSpec, GeneratedData, dataset_names, generate
+from .dataset import IncompleteDataset, SplitResult
+from .io import read_csv, write_csv
+from .missingness import HoldoutSplit, ampute, holdout_split
+from .normalize import MinMaxNormalizer, Standardizer
+from .profile import ColumnProfile, MissingnessProfile, profile_missingness
+from .streaming import CsvRowStream, StreamingReport, impute_csv_streaming, reservoir_sample
+
+__all__ = [
+    "IncompleteDataset",
+    "SplitResult",
+    "MinMaxNormalizer",
+    "Standardizer",
+    "profile_missingness",
+    "MissingnessProfile",
+    "ColumnProfile",
+    "CsvRowStream",
+    "reservoir_sample",
+    "impute_csv_streaming",
+    "StreamingReport",
+    "ampute",
+    "holdout_split",
+    "HoldoutSplit",
+    "iterate_batches",
+    "read_csv",
+    "write_csv",
+    "covid",
+    "generate",
+    "dataset_names",
+    "DatasetSpec",
+    "GeneratedData",
+    "SPECS",
+]

@@ -1,0 +1,40 @@
+"""Mini-batch iteration over incomplete data."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["iterate_batches"]
+
+
+def iterate_batches(
+    dataset: IncompleteDataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(values, mask)`` batches; missing entries come through as nan.
+
+    ``drop_last`` skips a trailing batch smaller than ``batch_size`` (useful
+    for the Sinkhorn loss, whose plan is square per batch and degenerates for
+    a batch of one).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = dataset.n_samples
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng()
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for start in range(0, n, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and index.size < batch_size:
+            break
+        yield dataset.values[index], dataset.mask[index]

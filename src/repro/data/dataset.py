@@ -1,0 +1,184 @@
+"""The incomplete-dataset container used across the system.
+
+Follows the paper's conventions: the data matrix ``X`` is ``(N, d)`` with
+``np.nan`` marking missing cells, and the mask matrix ``M`` has ``m_ij = 1``
+iff cell ``(i, j)`` is observed (Section II.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["IncompleteDataset", "SplitResult"]
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Validation / initial / remainder split of Algorithm 1, line 1."""
+
+    validation: "IncompleteDataset"
+    initial: "IncompleteDataset"
+    validation_indices: np.ndarray
+    initial_indices: np.ndarray
+
+
+@dataclass
+class IncompleteDataset:
+    """A matrix with missing entries plus its mask and metadata.
+
+    Parameters
+    ----------
+    values:
+        ``(N, d)`` float matrix; missing entries are ``np.nan``.
+    feature_names:
+        Optional column labels (defaults to ``f0..f{d-1}``).
+    feature_types:
+        Per-column kind: ``"continuous"``, ``"binary"``, or ``"categorical"``.
+        Defaults to all continuous.  Categorical columns hold integer codes.
+    name:
+        Human-readable dataset name for reports.
+    """
+
+    values: np.ndarray
+    feature_names: Optional[List[str]] = None
+    feature_types: Optional[List[str]] = None
+    name: str = "dataset"
+    _mask: np.ndarray = field(init=False, repr=False)
+
+    _VALID_TYPES = ("continuous", "binary", "categorical")
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {self.values.shape}")
+        n, d = self.values.shape
+        if self.feature_names is None:
+            self.feature_names = [f"f{j}" for j in range(d)]
+        if len(self.feature_names) != d:
+            raise ValueError("feature_names length does not match #columns")
+        if self.feature_types is None:
+            self.feature_types = ["continuous"] * d
+        if len(self.feature_types) != d:
+            raise ValueError("feature_types length does not match #columns")
+        for kind in self.feature_types:
+            if kind not in self._VALID_TYPES:
+                raise ValueError(f"unknown feature type {kind!r}")
+        self._mask = (~np.isnan(self.values)).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        """Mask matrix M: 1 where observed, 0 where missing."""
+        return self._mask
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.values.shape
+
+    @property
+    def missing_rate(self) -> float:
+        """Fraction of missing cells over the whole matrix."""
+        return float(1.0 - self._mask.mean())
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"IncompleteDataset(name={self.name!r}, shape={self.shape}, "
+            f"missing_rate={self.missing_rate:.2%})"
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors and views
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mask(
+        cls,
+        full_values: np.ndarray,
+        mask: np.ndarray,
+        **kwargs,
+    ) -> "IncompleteDataset":
+        """Build a dataset by blanking out ``full_values`` where ``mask`` is 0."""
+        full_values = np.asarray(full_values, dtype=np.float64)
+        mask = np.asarray(mask)
+        values = full_values.copy()
+        values[mask == 0] = np.nan
+        return cls(values, **kwargs)
+
+    def filled(self, fill_value: float = 0.0) -> np.ndarray:
+        """Return values with missing entries replaced by a constant."""
+        out = self.values.copy()
+        out[self._mask == 0] = fill_value
+        return out
+
+    def take(self, indices: Sequence[int], name: Optional[str] = None) -> "IncompleteDataset":
+        """Row-subset view (copies data)."""
+        indices = np.asarray(indices)
+        return IncompleteDataset(
+            self.values[indices].copy(),
+            feature_names=list(self.feature_names),
+            feature_types=list(self.feature_types),
+            name=name if name is not None else self.name,
+        )
+
+    def subsample(
+        self, n: int, rng: np.random.Generator, name: Optional[str] = None
+    ) -> "IncompleteDataset":
+        """Uniform random row subsample of size ``n`` without replacement."""
+        if n > self.n_samples:
+            raise ValueError(f"cannot subsample {n} rows from {self.n_samples}")
+        indices = rng.choice(self.n_samples, size=n, replace=False)
+        return self.take(indices, name=name)
+
+    def split_validation_initial(
+        self, n_validation: int, n_initial: int, rng: np.random.Generator
+    ) -> SplitResult:
+        """Algorithm 1, line 1: disjoint validation and initial samples.
+
+        The validation set is drawn first; the initial training set of size
+        ``n_initial`` comes from the remaining rows.
+        """
+        if n_validation + n_initial > self.n_samples:
+            raise ValueError(
+                f"n_validation + n_initial = {n_validation + n_initial} exceeds "
+                f"dataset size {self.n_samples}"
+            )
+        permutation = rng.permutation(self.n_samples)
+        validation_idx = permutation[:n_validation]
+        initial_idx = permutation[n_validation : n_validation + n_initial]
+        return SplitResult(
+            validation=self.take(validation_idx, name=f"{self.name}[validation]"),
+            initial=self.take(initial_idx, name=f"{self.name}[initial]"),
+            validation_indices=validation_idx,
+            initial_indices=initial_idx,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def column_means(self) -> np.ndarray:
+        """Per-column mean over observed entries (nan for fully-missing columns)."""
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(self.values, axis=0)
+
+    def column_stds(self) -> np.ndarray:
+        """Per-column std over observed entries."""
+        with np.errstate(invalid="ignore"):
+            return np.nanstd(self.values, axis=0)
+
+    def observed_count(self) -> int:
+        return int(self._mask.sum())

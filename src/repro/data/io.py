@@ -1,0 +1,81 @@
+"""CSV round-trip for incomplete datasets.
+
+A thin layer over :func:`numpy.genfromtxt` so users can bring their own
+tables: empty fields, ``NA``, ``NaN``, and ``?`` are treated as missing.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["read_csv", "write_csv"]
+
+_MISSING_TOKENS = {"", "na", "nan", "null", "none", "?"}
+
+
+def read_csv(
+    path: Union[str, Path],
+    has_header: bool = True,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+) -> IncompleteDataset:
+    """Load a numeric CSV into an :class:`IncompleteDataset`.
+
+    Non-numeric cells and the usual missing markers become nan.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    header: Optional[List[str]] = None
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        rows = rows[1:]
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+
+    width = len(rows[0])
+    values = np.empty((len(rows), width))
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(f"{path}: row {i} has {len(row)} cells, expected {width}")
+        for j, cell in enumerate(row):
+            token = cell.strip()
+            if token.lower() in _MISSING_TOKENS:
+                values[i, j] = np.nan
+                continue
+            try:
+                values[i, j] = float(token)
+            except ValueError:
+                values[i, j] = np.nan
+    return IncompleteDataset(
+        values,
+        feature_names=header,
+        name=name if name is not None else path.stem,
+    )
+
+
+def write_csv(
+    dataset: IncompleteDataset,
+    path: Union[str, Path],
+    missing_token: str = "",
+    float_format: str = "{:.10g}",
+    delimiter: str = ",",
+) -> None:
+    """Write a dataset back out, encoding missing cells as ``missing_token``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.feature_names)
+        for row in dataset.values:
+            writer.writerow(
+                [missing_token if np.isnan(v) else float_format.format(v) for v in row]
+            )

@@ -1,0 +1,163 @@
+"""Missingness mechanisms and the paper's evaluation protocol.
+
+Amputation (dropping observed values) supports three mechanisms:
+
+* **MCAR** — missing completely at random: every observed cell is dropped
+  independently with equal probability.  This is the paper's working
+  assumption (§IV, Example 1).
+* **MAR** — missing at random: the drop probability of a cell depends on
+  *observed* values of other columns (here: the row's value in a pivot
+  column shifts the logit).
+* **MNAR** — missing not at random: the drop probability depends on the
+  cell's own (unobserved) value — larger values more likely to vanish.
+
+The RMSE protocol of §VI ("randomly remove 20 % observed values during
+training ... use these observed values as the ground-truth") is implemented
+by :func:`holdout_split`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["ampute", "holdout_split", "HoldoutSplit"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def ampute(
+    dataset: IncompleteDataset,
+    rate: float,
+    mechanism: str = "mcar",
+    rng: np.random.Generator | None = None,
+    strength: float = 2.0,
+) -> IncompleteDataset:
+    """Drop a fraction of the *observed* cells under a missingness mechanism.
+
+    Parameters
+    ----------
+    dataset:
+        Input (possibly already incomplete) dataset.
+    rate:
+        Target fraction of currently-observed cells to drop, in [0, 1).
+    mechanism:
+        ``"mcar"``, ``"mar"``, or ``"mnar"``.
+    rng:
+        Random generator (required for reproducibility in experiments).
+    strength:
+        Logit slope for the MAR / MNAR dependence; ignored for MCAR.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"amputation rate must be in [0, 1), got {rate}")
+    if rng is None:
+        rng = np.random.default_rng()
+    mechanism = mechanism.lower()
+    values = dataset.values.copy()
+    observed = dataset.mask == 1.0
+    n, d = values.shape
+
+    if mechanism == "mcar":
+        probs = np.full((n, d), rate)
+    elif mechanism in ("mar", "mnar"):
+        if mechanism == "mar":
+            # Drop probability of column j driven by the observed value in the
+            # "pivot" column (j+1) mod d, standardised over observed entries.
+            driver = np.zeros((n, d))
+            for j in range(d):
+                pivot = (j + 1) % d
+                col = values[:, pivot]
+                col_mask = observed[:, pivot]
+                mean = col[col_mask].mean() if col_mask.any() else 0.0
+                std = col[col_mask].std() if col_mask.any() else 1.0
+                std = std if std > 0 else 1.0
+                z = np.where(col_mask, (col - mean) / std, 0.0)
+                driver[:, j] = z
+        else:  # mnar: the cell's own value drives its disappearance
+            with np.errstate(invalid="ignore"):
+                means = np.nanmean(np.where(observed, values, np.nan), axis=0)
+                stds = np.nanstd(np.where(observed, values, np.nan), axis=0)
+            stds = np.where((stds == 0) | np.isnan(stds), 1.0, stds)
+            means = np.where(np.isnan(means), 0.0, means)
+            driver = np.where(observed, (values - means) / stds, 0.0)
+        base = _sigmoid(strength * driver)
+        # Calibrate so the expected drop fraction over observed cells = rate.
+        scale = rate * observed.sum() / max(base[observed].sum(), 1e-12)
+        probs = np.clip(base * scale, 0.0, 1.0)
+    else:
+        raise ValueError(f"unknown mechanism {mechanism!r}; use mcar/mar/mnar")
+
+    drop = observed & (rng.random((n, d)) < probs)
+    values[drop] = np.nan
+    return IncompleteDataset(
+        values,
+        feature_names=list(dataset.feature_names),
+        feature_types=list(dataset.feature_types),
+        name=dataset.name,
+    )
+
+
+@dataclass(frozen=True)
+class HoldoutSplit:
+    """Output of :func:`holdout_split`.
+
+    Attributes
+    ----------
+    train:
+        Dataset with the held-out cells *additionally* masked out.
+    holdout_mask:
+        1 where a cell was observed in the input but hidden for training.
+    truth:
+        The original values at the held-out cells (0 elsewhere).
+    """
+
+    train: IncompleteDataset
+    holdout_mask: np.ndarray
+    truth: np.ndarray
+
+    def rmse(self, imputed: np.ndarray) -> float:
+        """Root-mean-square error of ``imputed`` at the held-out cells."""
+        mask = self.holdout_mask
+        count = mask.sum()
+        if count == 0:
+            raise ValueError("holdout mask is empty")
+        diff = (np.asarray(imputed) - self.truth) * mask
+        return float(np.sqrt((diff**2).sum() / count))
+
+    def mae(self, imputed: np.ndarray) -> float:
+        """Mean absolute error at the held-out cells."""
+        mask = self.holdout_mask
+        count = mask.sum()
+        if count == 0:
+            raise ValueError("holdout mask is empty")
+        diff = np.abs(np.asarray(imputed) - self.truth) * mask
+        return float(diff.sum() / count)
+
+
+def holdout_split(
+    dataset: IncompleteDataset,
+    rate: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> HoldoutSplit:
+    """Hide ``rate`` of the observed cells to serve as RMSE ground truth."""
+    if not 0.0 < rate < 1.0:
+        raise ValueError(f"holdout rate must be in (0, 1), got {rate}")
+    if rng is None:
+        rng = np.random.default_rng()
+    observed = dataset.mask == 1.0
+    hide = observed & (rng.random(dataset.shape) < rate)
+    values = dataset.values.copy()
+    truth = np.where(hide, np.nan_to_num(dataset.values, nan=0.0), 0.0)
+    values[hide] = np.nan
+    train = IncompleteDataset(
+        values,
+        feature_names=list(dataset.feature_names),
+        feature_types=list(dataset.feature_types),
+        name=dataset.name,
+    )
+    return HoldoutSplit(train=train, holdout_mask=hide.astype(np.float64), truth=truth)

@@ -1,0 +1,93 @@
+"""Feature normalisation fitted on observed entries only.
+
+The paper normalises inputs to ``[0, 1]^d`` (§V, where the space diameter
+``|X|`` and the Lipschitz constant are both taken as 1), so min-max scaling
+is the primary scheme; a standardiser is provided for the downstream
+prediction heads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["MinMaxNormalizer", "Standardizer"]
+
+
+class MinMaxNormalizer:
+    """Map each column to [0, 1] using observed minima / maxima.
+
+    Missing entries (nan) pass through untouched.  Constant columns map to
+    0.5 to avoid division by zero, and invert back to the constant.
+    """
+
+    def __init__(self) -> None:
+        self.minima: Optional[np.ndarray] = None
+        self.ranges: Optional[np.ndarray] = None
+
+    def fit(self, dataset: IncompleteDataset) -> "MinMaxNormalizer":
+        with np.errstate(invalid="ignore"):
+            self.minima = np.nanmin(dataset.values, axis=0)
+            maxima = np.nanmax(dataset.values, axis=0)
+        self.minima = np.where(np.isnan(self.minima), 0.0, self.minima)
+        maxima = np.where(np.isnan(maxima), 1.0, maxima)
+        self.ranges = maxima - self.minima
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.minima is None:
+            raise RuntimeError("normalizer must be fitted before use")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        safe_range = np.where(self.ranges == 0.0, 1.0, self.ranges)
+        out = (np.asarray(values, dtype=np.float64) - self.minima) / safe_range
+        constant = self.ranges == 0.0
+        if constant.any():
+            out[:, constant] = np.where(np.isnan(out[:, constant]), np.nan, 0.5)
+        return out
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        out = np.asarray(values, dtype=np.float64) * self.ranges + self.minima
+        return out
+
+    def fit_transform(self, dataset: IncompleteDataset) -> IncompleteDataset:
+        """Fit and return a new normalised dataset with the same mask."""
+        self.fit(dataset)
+        return IncompleteDataset(
+            self.transform(dataset.values),
+            feature_names=list(dataset.feature_names),
+            feature_types=list(dataset.feature_types),
+            name=dataset.name,
+        )
+
+
+class Standardizer:
+    """Zero-mean unit-variance scaling on observed entries."""
+
+    def __init__(self) -> None:
+        self.means: Optional[np.ndarray] = None
+        self.stds: Optional[np.ndarray] = None
+
+    def fit(self, dataset: IncompleteDataset) -> "Standardizer":
+        self.means = np.where(
+            np.isnan(dataset.column_means()), 0.0, dataset.column_means()
+        )
+        stds = dataset.column_stds()
+        stds = np.where(np.isnan(stds) | (stds == 0.0), 1.0, stds)
+        self.stds = stds
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.means is None:
+            raise RuntimeError("standardizer must be fitted before use")
+        return (np.asarray(values, dtype=np.float64) - self.means) / self.stds
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        if self.means is None:
+            raise RuntimeError("standardizer must be fitted before use")
+        return np.asarray(values, dtype=np.float64) * self.stds + self.means

@@ -1,0 +1,161 @@
+"""Missingness profiling: the first thing to run on a new incomplete table.
+
+Produces per-column and pattern-level diagnostics plus a cheap MCAR
+plausibility check (does the observed part of each column differ between
+rows where another column is missing vs present? — a t-statistic screen in
+the spirit of Little's test, not a replacement for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["ColumnProfile", "MissingnessProfile", "profile_missingness"]
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Per-column missingness summary."""
+
+    name: str
+    missing_rate: float
+    observed_count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+@dataclass
+class MissingnessProfile:
+    """Full profile returned by :func:`profile_missingness`."""
+
+    n_samples: int
+    n_features: int
+    overall_missing_rate: float
+    columns: List[ColumnProfile]
+    pattern_counts: List[Tuple[str, int]]
+    complete_rows: int
+    mcar_suspects: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"{self.n_samples} rows x {self.n_features} columns, "
+            f"{self.overall_missing_rate:.1%} missing overall, "
+            f"{self.complete_rows} complete rows",
+            "",
+            f"{'column':<16}{'missing':>9}{'mean':>10}{'std':>10}{'min':>10}{'max':>10}",
+        ]
+        for col in self.columns:
+            lines.append(
+                f"{col.name:<16}{col.missing_rate:>8.1%}{col.mean:>10.3f}"
+                f"{col.std:>10.3f}{col.minimum:>10.3f}{col.maximum:>10.3f}"
+            )
+        lines.append("")
+        lines.append("top missingness patterns (1 = observed):")
+        for pattern, count in self.pattern_counts[:5]:
+            lines.append(f"  {pattern}  x{count}")
+        if self.mcar_suspects:
+            lines.append("")
+            lines.append(
+                "columns whose values shift when another column is missing "
+                "(|t| > 3 — evidence against MCAR):"
+            )
+            for (value_col, miss_col), t_stat in sorted(
+                self.mcar_suspects.items(), key=lambda kv: -abs(kv[1])
+            )[:5]:
+                lines.append(f"  {value_col} vs missing({miss_col}): t = {t_stat:+.2f}")
+        return "\n".join(lines)
+
+
+def _two_sample_t(a: np.ndarray, b: np.ndarray) -> float:
+    """Welch t-statistic; 0 when either group is too small."""
+    if a.size < 5 or b.size < 5:
+        return 0.0
+    var_term = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size
+    if var_term <= 0:
+        return 0.0
+    return float((a.mean() - b.mean()) / np.sqrt(var_term))
+
+
+def profile_missingness(
+    dataset: IncompleteDataset,
+    mcar_threshold: float = 3.0,
+    max_pattern_rows: int = 100_000,
+) -> MissingnessProfile:
+    """Profile an incomplete dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The table to analyse.
+    mcar_threshold:
+        |t| above which a (value column, missing column) pair is flagged as
+        MCAR-suspect.
+    max_pattern_rows:
+        Pattern counting is skipped beyond this row count (it is O(n·d)).
+    """
+    values = dataset.values
+    mask = dataset.mask
+    n, d = values.shape
+
+    columns = []
+    for j, name in enumerate(dataset.feature_names):
+        column = values[:, j]
+        observed = column[~np.isnan(column)]
+        if observed.size:
+            stats = (observed.mean(), observed.std(), observed.min(), observed.max())
+        else:
+            stats = (float("nan"),) * 4
+        columns.append(
+            ColumnProfile(
+                name=name,
+                missing_rate=float(1.0 - mask[:, j].mean()),
+                observed_count=int(mask[:, j].sum()),
+                mean=float(stats[0]),
+                std=float(stats[1]),
+                minimum=float(stats[2]),
+                maximum=float(stats[3]),
+            )
+        )
+
+    pattern_counts: List[Tuple[str, int]] = []
+    if n <= max_pattern_rows:
+        raw: Dict[bytes, int] = {}
+        for i in range(n):
+            key = mask[i].astype(np.int8).tobytes()
+            raw[key] = raw.get(key, 0) + 1
+        for key, count in sorted(raw.items(), key=lambda kv: -kv[1]):
+            pattern = "".join(str(bit) for bit in np.frombuffer(key, dtype=np.int8))
+            pattern_counts.append((pattern, count))
+
+    # MCAR screen: for each pair (value column j, missingness of column k),
+    # compare observed values of j between rows missing k and rows with k.
+    suspects: Dict[Tuple[str, str], float] = {}
+    for j in range(d):
+        observed_j = mask[:, j] == 1.0
+        for k in range(d):
+            if j == k:
+                continue
+            missing_k = mask[:, k] == 0.0
+            group_missing = values[observed_j & missing_k, j]
+            group_present = values[observed_j & ~missing_k, j]
+            t_stat = _two_sample_t(group_missing, group_present)
+            if abs(t_stat) > mcar_threshold:
+                suspects[(dataset.feature_names[j], dataset.feature_names[k])] = t_stat
+
+    return MissingnessProfile(
+        n_samples=n,
+        n_features=d,
+        overall_missing_rate=dataset.missing_rate,
+        columns=columns,
+        pattern_counts=pattern_counts,
+        complete_rows=int((mask == 1.0).all(axis=1).sum()),
+        mcar_suspects=suspects,
+    )

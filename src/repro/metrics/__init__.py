@@ -1,0 +1,19 @@
+"""Evaluation metrics, downstream prediction, and multiple imputation."""
+
+from .downstream import DownstreamConfig, DownstreamResult, evaluate_downstream
+from .multiple import RubinEstimate, multiple_impute, pool_estimates, pooled_statistic
+from .scores import accuracy_score, auc_score, masked_mae, masked_rmse
+
+__all__ = [
+    "masked_rmse",
+    "masked_mae",
+    "auc_score",
+    "accuracy_score",
+    "DownstreamConfig",
+    "DownstreamResult",
+    "evaluate_downstream",
+    "multiple_impute",
+    "pool_estimates",
+    "pooled_statistic",
+    "RubinEstimate",
+]

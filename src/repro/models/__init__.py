@@ -1,0 +1,43 @@
+"""Imputation models: the 12 baselines of Table III/IV plus statistical ones."""
+
+from .autoencoders import EDDIImputer, HIVAEImputer, MIDAEImputer, MIWAEImputer, VAEImputer
+from .base import GenerativeImputer, Imputer, impute_equation
+from .em import GaussianEMImputer
+from .gan import GAINImputer, GINNImputer, knn_graph_adjacency
+from .ml import BaranImputer, MICEImputer, MissForestImputer, RidgeRegression
+from .mlp import DataWigImputer, RRSIImputer
+from .registry import REGISTRY, imputer_names, make_imputer
+from .simple import ConstantImputer, KNNImputer, MeanImputer, MedianImputer, ModeImputer
+from .trees import AdaBoostRegressor, DecisionTreeRegressor, RandomForestRegressor
+
+__all__ = [
+    "Imputer",
+    "GenerativeImputer",
+    "impute_equation",
+    "MeanImputer",
+    "MedianImputer",
+    "ModeImputer",
+    "ConstantImputer",
+    "KNNImputer",
+    "GaussianEMImputer",
+    "MissForestImputer",
+    "MICEImputer",
+    "BaranImputer",
+    "RidgeRegression",
+    "DataWigImputer",
+    "RRSIImputer",
+    "MIDAEImputer",
+    "VAEImputer",
+    "MIWAEImputer",
+    "EDDIImputer",
+    "HIVAEImputer",
+    "GAINImputer",
+    "GINNImputer",
+    "knn_graph_adjacency",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AdaBoostRegressor",
+    "REGISTRY",
+    "make_imputer",
+    "imputer_names",
+]

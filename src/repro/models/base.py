@@ -1,0 +1,124 @@
+"""Imputation model API.
+
+Every method in the paper's Table III/IV comparison implements
+:class:`Imputer`; the two GAN-based methods additionally implement
+:class:`GenerativeImputer`, the contract the SCIS core (DIM/SSE) needs:
+access to the generator's parameter tree and a differentiable batch
+reconstruction.
+
+The imputation equation (Definition 1) is
+
+    X̂ = M ⊙ X + (1 - M) ⊙ X̄
+
+where ``X̄`` is the model's reconstruction; :meth:`Imputer.transform` applies
+it so observed cells always pass through untouched.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import IncompleteDataset
+from ..nn.module import Module
+from ..tensor import Tensor
+
+__all__ = ["Imputer", "GenerativeImputer", "impute_equation"]
+
+
+def impute_equation(
+    values: np.ndarray, mask: np.ndarray, reconstruction: np.ndarray
+) -> np.ndarray:
+    """Definition 1: keep observed cells, fill missing from the reconstruction."""
+    filled = np.nan_to_num(np.asarray(values, dtype=np.float64), nan=0.0)
+    mask = np.asarray(mask, dtype=np.float64)
+    return mask * filled + (1.0 - mask) * np.asarray(reconstruction, dtype=np.float64)
+
+
+class Imputer(abc.ABC):
+    """Base class for every imputation method.
+
+    Subclasses set :attr:`name` and implement :meth:`fit` and
+    :meth:`reconstruct`.
+    """
+
+    name: str = "imputer"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, dataset: IncompleteDataset) -> "Imputer":
+        """Train the model on an incomplete dataset (values contain nan)."""
+
+    @abc.abstractmethod
+    def reconstruct(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Predict a full matrix ``X̄`` for the given rows (model output for
+        every cell, observed or not)."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before use")
+
+    def transform(self, dataset: IncompleteDataset) -> np.ndarray:
+        """Return the imputed matrix ``X̂`` (Eq. 1)."""
+        self._check_fitted()
+        reconstruction = self.reconstruct(dataset.values, dataset.mask)
+        return impute_equation(dataset.values, dataset.mask, reconstruction)
+
+    def fit_transform(self, dataset: IncompleteDataset) -> np.ndarray:
+        """Convenience: fit then impute the same dataset."""
+        return self.fit(dataset).transform(dataset)
+
+
+class GenerativeImputer(Imputer):
+    """Contract for GAN-based imputers usable inside SCIS.
+
+    Beyond the base API, SCIS needs
+
+    * :attr:`generator` — the :class:`~repro.nn.Module` whose parameters the
+      SSE module perturbs, and
+    * :meth:`reconstruct_batch` — a *differentiable* reconstruction of a
+      mini-batch given pre-sampled noise, so DIM can attach the
+      masking-Sinkhorn loss and so SSE can compare two parameter vectors
+      under identical noise.
+    """
+
+    @property
+    @abc.abstractmethod
+    def generator(self) -> Module:
+        """The generator network (must exist after :meth:`build`)."""
+
+    @abc.abstractmethod
+    def build(self, n_features: int, rng: Optional[np.random.Generator] = None) -> None:
+        """Instantiate the networks for ``n_features`` columns.
+
+        Called by :meth:`fit` and by the SCIS orchestrator before any
+        parameter-level manipulation.
+        """
+
+    @abc.abstractmethod
+    def sample_noise(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        """Draw the generator's input noise for missing slots."""
+
+    @abc.abstractmethod
+    def reconstruct_batch(
+        self, values: np.ndarray, mask: np.ndarray, noise: np.ndarray
+    ) -> Tensor:
+        """Differentiable reconstruction ``X̄`` of a batch (on the tape)."""
+
+    @abc.abstractmethod
+    def adversarial_step(
+        self,
+        values: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict:
+        """One native adversarial update (discriminator + generator losses).
+
+        Returns a dict of scalar diagnostics (e.g. ``{"d_loss": ..,
+        "g_loss": ..}``).  DIM interleaves this with the MS-divergence
+        generator update when ``use_adversarial`` is enabled.
+        """

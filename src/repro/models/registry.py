@@ -1,0 +1,53 @@
+"""Name → imputer factory registry used by the benchmark harness.
+
+Keys follow the paper's method names (Table III/IV), lower-cased.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .autoencoders import EDDIImputer, HIVAEImputer, MIDAEImputer, MIWAEImputer, VAEImputer
+from .base import Imputer
+from .em import GaussianEMImputer
+from .gan import GAINImputer, GINNImputer
+from .ml import BaranImputer, MICEImputer, MissForestImputer
+from .mlp import DataWigImputer, RRSIImputer
+from .simple import KNNImputer, MeanImputer, MedianImputer, ModeImputer
+
+__all__ = ["REGISTRY", "make_imputer", "imputer_names"]
+
+REGISTRY: Dict[str, Callable[..., Imputer]] = {
+    "mean": MeanImputer,
+    "median": MedianImputer,
+    "mode": ModeImputer,
+    "knn": KNNImputer,
+    "em": GaussianEMImputer,
+    "missforest": MissForestImputer,
+    "missf": MissForestImputer,  # the paper's abbreviation
+    "baran": BaranImputer,
+    "mice": MICEImputer,
+    "datawig": DataWigImputer,
+    "rrsi": RRSIImputer,
+    "midae": MIDAEImputer,
+    "vaei": VAEImputer,
+    "miwae": MIWAEImputer,
+    "eddi": EDDIImputer,
+    "hivae": HIVAEImputer,
+    "ginn": GINNImputer,
+    "gain": GAINImputer,
+}
+
+
+def imputer_names() -> list[str]:
+    """Canonical method names (deduplicated aliases)."""
+    names = [name for name in REGISTRY if name != "missf"]
+    return names
+
+
+def make_imputer(name: str, **kwargs) -> Imputer:
+    """Instantiate an imputer by (case-insensitive) name."""
+    key = name.lower()
+    if key not in REGISTRY:
+        raise KeyError(f"unknown imputer {name!r}; options: {sorted(REGISTRY)}")
+    return REGISTRY[key](**kwargs)

@@ -1,0 +1,142 @@
+"""Statistical imputers: column statistics and nearest neighbours.
+
+These are the "statistical ones" of §II.A — cheap baselines and the
+initialisation step for the iterative machine-learning imputers.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import IncompleteDataset
+from .base import Imputer
+
+__all__ = ["MeanImputer", "MedianImputer", "ModeImputer", "ConstantImputer", "KNNImputer"]
+
+
+class _ColumnStatImputer(Imputer):
+    """Shared machinery: fill each column with a per-column statistic."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fill: Optional[np.ndarray] = None
+
+    def _statistic(self, dataset: IncompleteDataset) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit(self, dataset: IncompleteDataset) -> "Imputer":
+        fill = self._statistic(dataset)
+        # Columns with no observations fall back to zero.
+        self._fill = np.where(np.isnan(fill), 0.0, fill)
+        self._fitted = True
+        return self
+
+    def reconstruct(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        n = np.asarray(values).shape[0]
+        return np.tile(self._fill, (n, 1))
+
+
+class MeanImputer(_ColumnStatImputer):
+    """Fill with the observed column mean."""
+
+    name = "mean"
+
+    def _statistic(self, dataset: IncompleteDataset) -> np.ndarray:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return np.nanmean(dataset.values, axis=0)
+
+
+class MedianImputer(_ColumnStatImputer):
+    """Fill with the observed column median."""
+
+    name = "median"
+
+    def _statistic(self, dataset: IncompleteDataset) -> np.ndarray:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return np.nanmedian(dataset.values, axis=0)
+
+
+class ModeImputer(_ColumnStatImputer):
+    """Fill with the most frequent observed value (for categorical codes)."""
+
+    name = "mode"
+
+    def _statistic(self, dataset: IncompleteDataset) -> np.ndarray:
+        d = dataset.n_features
+        fill = np.full(d, np.nan)
+        for j in range(d):
+            column = dataset.values[:, j]
+            observed = column[~np.isnan(column)]
+            if observed.size == 0:
+                continue
+            uniques, counts = np.unique(observed, return_counts=True)
+            fill[j] = uniques[np.argmax(counts)]
+        return fill
+
+
+class ConstantImputer(_ColumnStatImputer):
+    """Fill every missing cell with one constant."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0) -> None:
+        super().__init__()
+        self.value = value
+
+    def _statistic(self, dataset: IncompleteDataset) -> np.ndarray:
+        return np.full(dataset.n_features, self.value)
+
+
+class KNNImputer(Imputer):
+    """k-nearest-neighbour imputation on mutually observed dimensions.
+
+    Distance between two rows is the mean squared difference over columns
+    observed in *both* rows (scaled Euclidean); a missing cell is filled with
+    the average of that column over the ``k`` nearest rows observing it.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 5) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._train_values: Optional[np.ndarray] = None
+        self._train_mask: Optional[np.ndarray] = None
+        self._column_means: Optional[np.ndarray] = None
+
+    def fit(self, dataset: IncompleteDataset) -> "KNNImputer":
+        self._train_values = np.nan_to_num(dataset.values, nan=0.0)
+        self._train_mask = dataset.mask.copy()
+        means = dataset.column_means()
+        self._column_means = np.where(np.isnan(means), 0.0, means)
+        self._fitted = True
+        return self
+
+    def reconstruct(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = np.nan_to_num(np.asarray(values, dtype=np.float64), nan=0.0)
+        mask = np.asarray(mask, dtype=np.float64)
+        train_v, train_m = self._train_values, self._train_mask
+        n = values.shape[0]
+        out = np.tile(self._column_means, (n, 1))
+        for i in range(n):
+            shared = mask[i][None, :] * train_m  # columns observed in both
+            counts = shared.sum(axis=1)
+            diff = (values[i][None, :] - train_v) * shared
+            with np.errstate(invalid="ignore", divide="ignore"):
+                distances = np.where(counts > 0, (diff**2).sum(axis=1) / counts, np.inf)
+            order = np.argsort(distances)
+            for j in range(values.shape[1]):
+                donors = order[train_m[order, j] == 1.0][: self.k]
+                donors = donors[np.isfinite(distances[donors])]
+                if donors.size:
+                    out[i, j] = train_v[donors, j].mean()
+        return out

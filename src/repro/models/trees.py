@@ -1,0 +1,263 @@
+"""Decision-tree substrate: CART regression trees, random forests, AdaBoost.
+
+Built from scratch (no scikit-learn in this environment) to power the
+machine-learning baselines of §II.A: MissForest imputation rides on
+:class:`RandomForestRegressor` and Baran on :class:`AdaBoostRegressor`
+(AdaBoost.R2, the paper states Baran "employs AdaBoost as the prediction
+model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor", "AdaBoostRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, internals a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; ``None`` grows until leaves are pure or tiny.
+    min_samples_leaf:
+        Minimum rows per leaf.
+    max_features:
+        Candidate features per split: ``None`` = all, an int, or a float
+        fraction (random forests pass ``sqrt``-like fractions).
+    rng:
+        Generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 2,
+        max_features: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def _n_candidates(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if isinstance(self.max_features, float) and 0 < self.max_features <= 1:
+            return max(1, int(round(self.max_features * d)))
+        return max(1, min(d, int(self.max_features)))
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Return ``(feature, threshold, gain)`` or ``None`` if no valid split.
+
+        Uses the cumulative-sums identity so each feature scan is O(n log n).
+        """
+        n, d = x.shape
+        total_sum = y.sum()
+        total_sq = (y**2).sum()
+        best = None
+        best_gain = 1e-12
+        features = self.rng.choice(d, size=self._n_candidates(d), replace=False)
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            counts = np.arange(1, n + 1, dtype=np.float64)
+            # Valid split positions: between distinct x values, both sides big enough.
+            left_n = counts[:-1]
+            right_n = n - left_n
+            valid = (
+                (xs[1:] > xs[:-1])
+                & (left_n >= self.min_samples_leaf)
+                & (right_n >= self.min_samples_leaf)
+            )
+            if not valid.any():
+                continue
+            left_sse = csq[:-1] - csum[:-1] ** 2 / left_n
+            right_sum = total_sum - csum[:-1]
+            right_sq = total_sq - csq[:-1]
+            right_sse = right_sq - right_sum**2 / right_n
+            sse = np.where(valid, left_sse + right_sse, np.inf)
+            idx = int(np.argmin(sse))
+            parent_sse = total_sq - total_sum**2 / n
+            gain = parent_sse - sse[idx]
+            if gain > best_gain:
+                best_gain = gain
+                best = (int(feature), float((xs[idx] + xs[idx + 1]) / 2.0))
+        if best is None:
+            return None
+        return best[0], best[1], best_gain
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y.size < 2 * self.min_samples_leaf
+            or np.ptp(y) == 0.0
+        ):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        go_left = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[go_left], y[go_left], depth + 1)
+        node.right = self._grow(x[~go_left], y[~go_left], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.size:
+            raise ValueError(f"bad shapes: x {x.shape}, y {y.shape}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero rows")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before predict")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(x.shape[0])
+        # Iterative routing per row; trees are shallow so this is fine.
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+
+class RandomForestRegressor:
+    """Bagged CART ensemble with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: Optional[int] = 8,
+        min_samples_leaf: int = 3,
+        max_features: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n = x.shape[0]
+        self._trees = []
+        for _ in range(self.n_trees):
+            sample = self.rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=self.rng,
+            )
+            tree.fit(x[sample], y[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest must be fitted before predict")
+        return np.mean([tree.predict(x) for tree in self._trees], axis=0)
+
+
+class AdaBoostRegressor:
+    """AdaBoost.R2 (Drucker 1997) over shallow CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._estimators: List[DecisionTreeRegressor] = []
+        self._weights: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoostRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n = x.shape[0]
+        sample_weights = np.full(n, 1.0 / n)
+        self._estimators = []
+        self._weights = []
+        for _ in range(self.n_estimators):
+            indices = self.rng.choice(n, size=n, p=sample_weights)
+            tree = DecisionTreeRegressor(max_depth=self.max_depth, rng=self.rng)
+            tree.fit(x[indices], y[indices])
+            prediction = tree.predict(x)
+            abs_error = np.abs(prediction - y)
+            max_error = abs_error.max()
+            if max_error <= 0:
+                self._estimators.append(tree)
+                self._weights.append(1.0)
+                break
+            loss = abs_error / max_error  # linear loss
+            avg_loss = float((loss * sample_weights).sum())
+            if avg_loss >= 0.5:
+                if not self._estimators:  # keep at least one learner
+                    self._estimators.append(tree)
+                    self._weights.append(1.0)
+                break
+            beta = avg_loss / (1.0 - avg_loss)
+            self._estimators.append(tree)
+            self._weights.append(float(np.log(1.0 / max(beta, 1e-12))))
+            sample_weights *= beta ** (1.0 - loss)
+            sample_weights /= sample_weights.sum()
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Weighted-median combination, per AdaBoost.R2."""
+        if not self._estimators:
+            raise RuntimeError("ensemble must be fitted before predict")
+        predictions = np.stack([est.predict(x) for est in self._estimators], axis=1)
+        weights = np.asarray(self._weights)
+        order = np.argsort(predictions, axis=1)
+        sorted_preds = np.take_along_axis(predictions, order, axis=1)
+        sorted_weights = weights[order]
+        cumulative = np.cumsum(sorted_weights, axis=1)
+        threshold = 0.5 * weights.sum()
+        pick = (cumulative >= threshold).argmax(axis=1)
+        return sorted_preds[np.arange(x.shape[0]), pick]

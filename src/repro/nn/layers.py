@@ -1,0 +1,185 @@
+"""Standard layers: linear maps, activations, dropout, sequential stacks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init as initializers
+from .module import Module, ModuleList, Parameter
+
+__all__ = [
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "Identity",
+    "Dropout",
+    "mlp",
+]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output width.
+    bias:
+        Include the additive bias term (default true).
+    init:
+        Weight initialiser from :mod:`repro.nn.init` (default Xavier uniform,
+        matching the GAIN reference implementation).
+    rng:
+        NumPy generator used for initialisation; pass one for reproducibility.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: Callable[..., np.ndarray] = initializers.xavier_uniform,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init(in_features, out_features, rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Elementwise rectifier module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class LeakyReLU(Module):
+    """Rectifier with configurable negative slope."""
+
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.slope)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Softplus(Module):
+    """Softplus activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softplus(x)
+
+
+class Identity(Module):
+    """No-op module (used as the default output activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = ops.dropout_mask(x.shape, self.rate, self.rng)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "softplus": Softplus,
+    "identity": Identity,
+}
+
+
+def mlp(
+    sizes: Sequence[int],
+    activation: str = "relu",
+    output_activation: str = "identity",
+    dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a fully-connected stack, e.g. ``mlp([d, h, d], "relu", "sigmoid")``.
+
+    ``dropout`` (if nonzero) is inserted after every hidden activation, which
+    matches the §VI "dropout rate 0.5" setting of the paper's deep baselines.
+    """
+    if len(sizes) < 2:
+        raise ValueError("mlp needs at least an input and an output size")
+    for name in (activation, output_activation):
+        if name not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {name!r}; options: {sorted(_ACTIVATIONS)}")
+    if rng is None:
+        rng = np.random.default_rng()
+    layers: list[Module] = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        is_last = i == len(sizes) - 2
+        name = output_activation if is_last else activation
+        layers.append(_ACTIVATIONS[name]())
+        if dropout > 0.0 and not is_last:
+            layers.append(Dropout(dropout, rng=rng))
+    return Sequential(*layers)

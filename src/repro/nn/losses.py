@@ -1,0 +1,43 @@
+"""Common loss functions used by the imputation models."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+
+__all__ = ["mse_loss", "masked_mse_loss", "bce_loss", "masked_bce_loss"]
+
+_EPS = 1e-8
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def masked_mse_loss(prediction: Tensor, target: Tensor, mask) -> Tensor:
+    """MSE restricted to entries where ``mask`` is 1.
+
+    Normalised by the number of unmasked entries, not the full matrix size,
+    so the loss scale is invariant to the missing rate.
+    """
+    mask_t = Tensor(mask)
+    diff = (prediction - target) * mask_t
+    total = (diff * diff).sum()
+    count = float(mask_t.data.sum())
+    return total / max(count, 1.0)
+
+
+def bce_loss(probability: Tensor, target: Tensor) -> Tensor:
+    """Binary cross-entropy for probabilities already in (0, 1)."""
+    p = probability.clip(_EPS, 1.0 - _EPS)
+    return -(target * p.log() + (1.0 - target) * (1.0 - p).log()).mean()
+
+
+def masked_bce_loss(probability: Tensor, target: Tensor, mask) -> Tensor:
+    """BCE restricted to entries where ``mask`` is 1 (GAIN's hint trick)."""
+    mask_t = Tensor(mask)
+    p = probability.clip(_EPS, 1.0 - _EPS)
+    point = -(target * p.log() + (1.0 - target) * (1.0 - p).log()) * mask_t
+    count = float(mask_t.data.sum())
+    return point.sum() / max(count, 1.0)

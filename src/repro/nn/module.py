@@ -1,0 +1,176 @@
+"""Module system: parameter containers with recursive discovery.
+
+The design mirrors the familiar ``torch.nn.Module`` contract at the scale this
+project needs: attribute assignment registers parameters and submodules, and
+``parameters()`` walks the tree in a deterministic order.  Determinism matters
+because the SSE module flattens the parameter tree into a single vector
+(:func:`flatten_parameters`) and must be able to restore it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "ModuleList",
+    "flatten_parameters",
+    "load_flat_parameters",
+    "flatten_gradients",
+]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always requires grad."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural building blocks.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__`` and implement :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of submodules (registered in order)."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers don't forward
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+# ----------------------------------------------------------------------
+# Flat parameter-vector utilities (used by the SSE module)
+# ----------------------------------------------------------------------
+def flatten_parameters(module: Module) -> np.ndarray:
+    """Concatenate every parameter into one flat vector (copy)."""
+    params = module.parameters()
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([p.data.reshape(-1) for p in params])
+
+
+def load_flat_parameters(module: Module, flat: np.ndarray) -> None:
+    """Write a flat vector produced by :func:`flatten_parameters` back in."""
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = module.num_parameters()
+    if flat.size != expected:
+        raise ValueError(f"expected {expected} values, got {flat.size}")
+    offset = 0
+    for param in module.parameters():
+        block = flat[offset : offset + param.size]
+        param.data[...] = block.reshape(param.shape)
+        offset += param.size
+
+
+def flatten_gradients(module: Module) -> np.ndarray:
+    """Concatenate parameter gradients (zeros where no grad accumulated)."""
+    chunks = []
+    for param in module.parameters():
+        grad = param.grad if param.grad is not None else np.zeros_like(param.data)
+        chunks.append(np.asarray(grad).reshape(-1))
+    if not chunks:
+        return np.zeros(0)
+    return np.concatenate(chunks)

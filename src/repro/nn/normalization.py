@@ -1,0 +1,74 @@
+"""Normalisation layers: LayerNorm and BatchNorm1d.
+
+Not used by the paper's reference architectures (GAIN/GINN are plain MLPs),
+but custom :class:`~repro.models.base.GenerativeImputer` implementations
+plugged into DIM/SSE routinely want them, so the substrate provides both
+with full gradient support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm", "BatchNorm1d"]
+
+
+class LayerNorm(Module):
+    """Per-row normalisation over the feature axis with learnable affine."""
+
+    def __init__(self, n_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.n_features = n_features
+        self.eps = eps
+        self.gain = Parameter(np.ones(n_features), name="gain")
+        self.bias = Parameter(np.zeros(n_features), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / ops.sqrt(variance + self.eps)
+        return normalized * self.gain + self.bias
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over axis 0 with running statistics.
+
+    Training mode normalises with batch statistics and updates the running
+    mean/variance; eval mode uses the running values (so single rows can be
+    reconstructed deterministically).
+    """
+
+    def __init__(self, n_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.n_features = n_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gain = Parameter(np.ones(n_features), name="gain")
+        self.bias = Parameter(np.zeros(n_features), name="bias")
+        self.running_mean = np.zeros(n_features)
+        self.running_var = np.ones(n_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            batch_mean = x.mean(axis=0, keepdims=True)
+            centered = x - batch_mean
+            batch_var = (centered * centered).mean(axis=0, keepdims=True)
+            # Update running statistics outside the tape.
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean
+                + self.momentum * batch_mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var
+                + self.momentum * batch_var.data.reshape(-1)
+            )
+            normalized = centered / ops.sqrt(batch_var + self.eps)
+        else:
+            normalized = (x - Tensor(self.running_mean)) / Tensor(
+                np.sqrt(self.running_var + self.eps)
+            )
+        return normalized * self.gain + self.bias

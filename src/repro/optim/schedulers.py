@@ -1,0 +1,96 @@
+"""Learning-rate schedules for the optimisers.
+
+Schedulers mutate the wrapped optimiser's ``lr`` in place; call
+:meth:`step` once per epoch (or per training step for warmup)::
+
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    scheduler = CosineAnnealing(optimizer, period=100, minimum_lr=1e-5)
+    for epoch in range(100):
+        train_one_epoch(...)
+        scheduler.step()
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["Scheduler", "StepDecay", "ExponentialDecay", "CosineAnnealing", "LinearWarmup"]
+
+
+class Scheduler:
+    """Base class: tracks the step count and the optimiser's initial lr."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.steps = 0
+
+    def _compute_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance the schedule and return the new learning rate."""
+        self.steps += 1
+        self.optimizer.lr = self._compute_lr()
+        return self.optimizer.lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the lr by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.period = period
+        self.gamma = gamma
+
+    def _compute_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.steps // self.period)
+
+
+class ExponentialDecay(Scheduler):
+    """lr = base · gamma^steps."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+
+    def _compute_lr(self) -> float:
+        return self.base_lr * self.gamma**self.steps
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from the base lr to ``minimum_lr`` over ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, minimum_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+        self.minimum_lr = minimum_lr
+
+    def _compute_lr(self) -> float:
+        progress = min(self.steps, self.period) / self.period
+        return self.minimum_lr + 0.5 * (self.base_lr - self.minimum_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class LinearWarmup(Scheduler):
+    """Ramp from 0 to the base lr over ``warmup`` steps, then hold."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int) -> None:
+        super().__init__(optimizer)
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.warmup = warmup
+
+    def _compute_lr(self) -> float:
+        return self.base_lr * min(1.0, self.steps / self.warmup)

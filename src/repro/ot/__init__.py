@@ -1,0 +1,30 @@
+"""Optimal-transport toolkit: exact OT, Sinkhorn, masking Sinkhorn divergence."""
+
+from .cost import (
+    masked_cost_matrix,
+    masked_cost_matrix_tensor,
+    squared_euclidean_cost,
+    squared_euclidean_cost_tensor,
+)
+from .divergence import (
+    MaskingSinkhornLoss,
+    masking_sinkhorn_divergence,
+    sinkhorn_divergence,
+)
+from .exact import exact_ot
+from .sinkhorn import SinkhornResult, entropy, regularized_ot_value, sinkhorn
+
+__all__ = [
+    "squared_euclidean_cost",
+    "masked_cost_matrix",
+    "squared_euclidean_cost_tensor",
+    "masked_cost_matrix_tensor",
+    "exact_ot",
+    "sinkhorn",
+    "SinkhornResult",
+    "entropy",
+    "regularized_ot_value",
+    "sinkhorn_divergence",
+    "masking_sinkhorn_divergence",
+    "MaskingSinkhornLoss",
+]

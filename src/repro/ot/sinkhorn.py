@@ -1,0 +1,120 @@
+"""Log-domain Sinkhorn iterations for entropic optimal transport.
+
+Implements the solver behind Definition 3 of the paper: the masking
+regularised optimal transport metric
+
+    OT_λ(ν, μ) = min_P <P, C> + λ Σ_ij p_ij log p_ij
+
+over the transport polytope with uniform marginals.  The log-domain update
+is numerically stable for the small regularisation weights probed by the
+ablation benches, and the returned plan is exact to ``tol`` in marginal
+violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.special import logsumexp
+
+__all__ = ["SinkhornResult", "sinkhorn", "regularized_ot_value", "entropy"]
+
+
+@dataclass(frozen=True)
+class SinkhornResult:
+    """Output of the Sinkhorn solver.
+
+    Attributes
+    ----------
+    plan:
+        Optimal transport plan ``P*`` (n, m).
+    value:
+        The regularised objective ``<P*, C> + λ Σ p log p`` (Definition 3).
+    transport_cost:
+        The linear part ``<P*, C>`` alone.
+    iterations:
+        Number of Sinkhorn sweeps performed.
+    converged:
+        Whether the marginal violation dropped below tolerance.
+    """
+
+    plan: np.ndarray
+    value: float
+    transport_cost: float
+    iterations: int
+    converged: bool
+
+
+def entropy(plan: np.ndarray, eps: float = 1e-300) -> float:
+    """Negative entropy ``Σ p log p`` with the ``0 log 0 = 0`` convention."""
+    plan = np.asarray(plan)
+    positive = plan[plan > eps]
+    return float((positive * np.log(positive)).sum())
+
+
+def regularized_ot_value(plan: np.ndarray, cost: np.ndarray, reg: float) -> float:
+    """Evaluate Definition 3's objective at a given plan."""
+    return float((plan * cost).sum()) + reg * entropy(plan)
+
+
+def sinkhorn(
+    cost: np.ndarray,
+    reg: float,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    max_iter: int = 500,
+    tol: float = 1e-9,
+) -> SinkhornResult:
+    """Solve entropic OT in the log domain.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` cost matrix.
+    reg:
+        Entropic regularisation weight ``λ > 0``.
+    a, b:
+        Marginals (default uniform).
+    max_iter:
+        Maximum number of dual sweeps.
+    tol:
+        L1 marginal-violation tolerance for convergence.
+    """
+    if reg <= 0.0:
+        raise ValueError(f"entropic regulariser must be positive, got {reg}")
+    cost = np.asarray(cost, dtype=np.float64)
+    n, m = cost.shape
+    if a is None:
+        a = np.full(n, 1.0 / n)
+    if b is None:
+        b = np.full(m, 1.0 / m)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    log_a = np.log(a)
+    log_b = np.log(b)
+
+    # Dual potentials (scaled by 1/reg): plan = exp(f + g - C/reg).
+    neg_cost = -cost / reg
+    f = np.zeros(n)
+    g = np.zeros(m)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        f = log_a - logsumexp(neg_cost + g[None, :], axis=1)
+        g = log_b - logsumexp(neg_cost + f[:, None], axis=0)
+        plan = np.exp(neg_cost + f[:, None] + g[None, :])
+        violation = np.abs(plan.sum(axis=1) - a).sum() + np.abs(plan.sum(axis=0) - b).sum()
+        if violation < tol:
+            converged = True
+            break
+    plan = np.exp(neg_cost + f[:, None] + g[None, :])
+    value = regularized_ot_value(plan, cost, reg)
+    return SinkhornResult(
+        plan=plan,
+        value=value,
+        transport_cost=float((plan * cost).sum()),
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,110 @@
+"""Persistence for trained generative imputers and SCIS results.
+
+Model weights are saved as ``.npz`` archives (one array per named
+parameter plus a JSON metadata blob), so a SCIS-trained generator can be
+reloaded and used for imputation without retraining::
+
+    save_generator(model, "gain.npz")
+    ...
+    model = GAINImputer()
+    load_generator(model, "gain.npz")   # builds + restores weights
+    imputed = model.transform(dataset)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.scis import ScisResult
+from .models.base import GenerativeImputer
+
+__all__ = ["save_generator", "load_generator", "save_scis_result", "load_scis_summary"]
+
+_META_KEY = "__meta__"
+
+
+def save_generator(model: GenerativeImputer, path: Union[str, Path]) -> None:
+    """Save a built model's generator weights and identifying metadata."""
+    generator = model.generator  # raises if not built
+    state = generator.state_dict()
+    meta = {
+        "model_name": model.name,
+        "n_parameters": int(generator.num_parameters()),
+        "parameter_names": sorted(state),
+        "n_features": int(getattr(model, "_n_features", 0) or 0),
+    }
+    arrays = {name.replace(".", "/"): value for name, value in state.items()}
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(Path(path), **arrays)
+
+
+def load_generator(
+    model: GenerativeImputer,
+    path: Union[str, Path],
+    n_features: int | None = None,
+) -> GenerativeImputer:
+    """Restore generator weights into ``model`` (building it if needed).
+
+    ``n_features`` must be given if the archive predates the width metadata
+    and the model is not yet built.
+    """
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        state = {
+            key.replace("/", "."): archive[key]
+            for key in archive.files
+            if key != _META_KEY
+        }
+    if meta["model_name"] != model.name:
+        raise ValueError(
+            f"archive holds a {meta['model_name']!r} generator, got a "
+            f"{model.name!r} model"
+        )
+    try:
+        generator = model.generator
+    except RuntimeError:
+        width = n_features or meta.get("n_features") or 0
+        if width <= 0:
+            raise ValueError(
+                "model is unbuilt and the archive lacks width metadata; "
+                "pass n_features explicitly"
+            )
+        model.build(int(width))
+        generator = model.generator
+    generator.load_state_dict(state)
+    model._fitted = True
+    return model
+
+
+def save_scis_result(result: ScisResult, path: Union[str, Path]) -> None:
+    """Archive a SCIS run: the imputed matrix plus a JSON summary."""
+    summary = {
+        "n_star": result.n_star,
+        "n_initial": result.n_initial,
+        "n_total": result.n_total,
+        "sample_rate": result.sample_rate,
+        "timings": result.timings,
+        "sse_threshold": result.sse_result.threshold,
+        "sse_evaluations": {
+            str(k): v for k, v in result.sse_result.evaluations.items()
+        },
+    }
+    np.savez(
+        Path(path),
+        imputed=result.imputed,
+        summary=np.frombuffer(json.dumps(summary).encode("utf-8"), dtype=np.uint8).copy(),
+    )
+
+
+def load_scis_summary(path: Union[str, Path]) -> dict:
+    """Load the imputed matrix and run summary saved by :func:`save_scis_result`."""
+    with np.load(Path(path)) as archive:
+        summary = json.loads(bytes(archive["summary"].tobytes()).decode("utf-8"))
+        summary["imputed"] = archive["imputed"]
+    return summary

@@ -1,0 +1,25 @@
+"""Reverse-mode automatic differentiation on NumPy.
+
+Public surface:
+
+* :class:`Tensor` — the differentiable array type.
+* :mod:`repro.tensor.ops` — functional ops (also exposed as Tensor methods).
+* :func:`no_grad` — disable tape recording (used around the Sinkhorn solver).
+* :func:`check_gradients` — finite-difference verification helper.
+"""
+
+from . import ops
+from .grad_mode import is_grad_enabled, no_grad, set_grad_enabled
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "ops",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "check_gradients",
+    "numerical_gradient",
+]

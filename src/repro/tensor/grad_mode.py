@@ -1,0 +1,39 @@
+"""Global gradient-recording mode.
+
+The autodiff tape can be switched off wholesale (e.g. while solving the
+optimal-transport plan, which the envelope theorem treats as a constant) with
+the :func:`no_grad` context manager, mirroring the familiar PyTorch idiom::
+
+    with no_grad():
+        plan = sinkhorn(cost)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["is_grad_enabled", "no_grad", "set_grad_enabled"]
+
+_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are recorded on the autodiff tape."""
+    return getattr(_STATE, "enabled", True)
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable gradient recording for this thread."""
+    _STATE.enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording inside its block."""
+    previous = is_grad_enabled()
+    set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

@@ -1,0 +1,314 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy.
+
+This module is the computational substrate for every neural model in the
+repository (GAIN, GINN, the autoencoder baselines, the downstream prediction
+heads) and for the differentiable masking-Sinkhorn loss.  It provides a
+:class:`Tensor` that records elementary operations on a tape and replays them
+in reverse topological order on :meth:`Tensor.backward`.
+
+Design notes
+------------
+* Data is kept in ``float64`` by default so that numerical gradient checking
+  (``repro.tensor.gradcheck``) is tight; models that care about speed may pass
+  ``float32`` arrays explicitly.
+* Broadcasting follows NumPy semantics; gradients of broadcast operands are
+  reduced back to the operand's shape by :func:`_unbroadcast`.
+* The tape is a DAG of parent references.  ``backward`` accumulates into
+  ``Tensor.grad`` (a plain ndarray), so parameters can be reused across many
+  forward passes within one step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .grad_mode import is_grad_enabled
+
+__all__ = ["Tensor", "as_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were expanded from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array that supports reverse-mode differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    # Make ndarray.__mul__ defer to Tensor.__rmul__ etc.
+    __array_priority__ = 100.0
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, threshold=6)}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        out = Tensor(data)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to ones, so calling ``loss.backward()`` on a scalar
+        loss seeds the chain rule with ``dL/dL = 1``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        # Topological order via iterative DFS (recursion-free for deep nets).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            if node._backward is not None:
+                parent_grads = node._backward(node_grad)
+                for parent, pgrad in zip(node._parents, parent_grads):
+                    if pgrad is None or not (
+                        parent.requires_grad or parent._backward is not None
+                    ):
+                        continue
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + pgrad
+                    else:
+                        grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from . import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    # ------------------------------------------------------------------
+    # Method-style op aliases
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self, axes=axes)
+
+    def exp(self) -> "Tensor":
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from . import ops
+
+        return ops.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from . import ops
+
+        return ops.sqrt(self)
+
+    def abs(self) -> "Tensor":
+        from . import ops
+
+        return ops.abs(self)
+
+    def tanh(self) -> "Tensor":
+        from . import ops
+
+        return ops.tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def relu(self) -> "Tensor":
+        from . import ops
+
+        return ops.relu(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        from . import ops
+
+        return ops.clip(self, low, high)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` without copying when possible."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_incomplete(rng):
+    """A small correlated incomplete dataset, normalised to roughly [0, 1]."""
+    from repro.data import IncompleteDataset, MinMaxNormalizer, ampute
+
+    n, d = 400, 6
+    latent = rng.normal(size=(n, 2))
+    loadings = rng.normal(size=(2, d))
+    full = latent @ loadings + 0.05 * rng.normal(size=(n, d))
+    complete = IncompleteDataset(full, name="small")
+    incomplete = ampute(complete, 0.3, "mcar", rng)
+    return MinMaxNormalizer().fit_transform(incomplete)

@@ -1,0 +1,90 @@
+"""ASCII charts and the ε calibration utility."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_chart, sparkline
+from repro.core import calibrate_error_bounds
+from repro.models import GAINImputer
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series(self):
+        assert set(sparkline([5, 5, 5])) == {"▄"}
+
+    def test_nan_renders_blank(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+
+class TestAsciiChart:
+    def test_contains_axis_labels_and_legend(self):
+        chart = ascii_chart(
+            [0.1, 0.5, 0.9],
+            {"gain": [1.0, 2.0, 3.0], "scis": [1.5, 1.5, 1.5]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* gain" in chart
+        assert "o scis" in chart
+        assert "0.1" in chart and "0.9" in chart
+
+    def test_extremes_on_grid_edges(self):
+        chart = ascii_chart([0, 1], {"y": [0.0, 10.0]}, height=5, width=20)
+        lines = chart.splitlines()
+        assert "10.0000" in lines[0]
+        assert "0.0000" in lines[4]
+
+    def test_no_finite_data(self):
+        assert "no finite data" in ascii_chart([0], {"y": [float("nan")]})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([0, 1, 2], {"y": [2.0, 2.0, 2.0]})
+        assert "2.0000" in chart
+
+
+class TestCalibration:
+    def test_curve_monotone(self, small_incomplete):
+        from repro.core import DimConfig
+
+        points = calibrate_error_bounds(
+            GAINImputer(seed=0),
+            small_incomplete,
+            error_bounds=[0.005, 0.02, 0.08],
+            initial_size=60,
+            dim_config=DimConfig(epochs=8),
+            seed=0,
+        )
+        assert [p.error_bound for p in points] == [0.005, 0.02, 0.08]
+        # Larger tolerated error -> (weakly) fewer samples.
+        assert points[0].n_star >= points[-1].n_star
+        for point in points:
+            assert 60 <= point.n_star <= small_incomplete.n_samples
+            assert point.sample_rate == pytest.approx(
+                point.n_star / small_incomplete.n_samples
+            )
+
+    def test_empty_bounds_raises(self, small_incomplete):
+        with pytest.raises(ValueError):
+            calibrate_error_bounds(GAINImputer(seed=0), small_incomplete, [])
+
+    def test_oversized_split_raises(self, small_incomplete):
+        with pytest.raises(ValueError):
+            calibrate_error_bounds(
+                GAINImputer(seed=0),
+                small_incomplete,
+                [0.01],
+                initial_size=small_incomplete.n_samples,
+            )

@@ -1,0 +1,148 @@
+"""CLI subcommands and model/result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import SCIS, DimConfig, ScisConfig
+from repro.data import generate, read_csv, write_csv
+from repro.models import GAINImputer, GINNImputer
+from repro.serialize import (
+    load_generator,
+    load_scis_summary,
+    save_generator,
+    save_scis_result,
+)
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    generated = generate("trial", n_samples=250, seed=0)
+    path = tmp_path / "trial.csv"
+    write_csv(generated.dataset, path)
+    return path
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_impute_defaults(self):
+        args = build_parser().parse_args(["impute", "in.csv", "out.csv"])
+        assert args.method == "gain"
+        assert not args.scis
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["impute", "in.csv", "out.csv", "--method", "x"])
+
+
+class TestCliCommands:
+    def test_datagen(self, tmp_path):
+        out = tmp_path / "gen.csv"
+        assert main(["datagen", "trial", str(out), "--samples", "120"]) == 0
+        loaded = read_csv(out)
+        assert loaded.shape == (120, 9)
+
+    def test_impute_mean(self, csv_path, tmp_path):
+        out = tmp_path / "imputed.csv"
+        assert main(["impute", str(csv_path), str(out), "--method", "mean"]) == 0
+        loaded = read_csv(out)
+        assert not np.isnan(loaded.values).any()
+
+    def test_impute_gain(self, csv_path, tmp_path):
+        out = tmp_path / "imputed.csv"
+        code = main(
+            ["impute", str(csv_path), str(out), "--method", "gain", "--epochs", "3"]
+        )
+        assert code == 0
+        assert not np.isnan(read_csv(out).values).any()
+
+    def test_impute_scis(self, csv_path, tmp_path):
+        out = tmp_path / "imputed.csv"
+        code = main(
+            [
+                "impute", str(csv_path), str(out),
+                "--method", "gain", "--scis",
+                "--epochs", "3", "--initial-size", "50", "--error-bound", "0.05",
+            ]
+        )
+        assert code == 0
+        assert not np.isnan(read_csv(out).values).any()
+
+    def test_scis_rejects_non_gan(self, csv_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["impute", str(csv_path), str(tmp_path / "x.csv"),
+                 "--method", "mean", "--scis"]
+            )
+
+    def test_evaluate(self, csv_path, capsys):
+        code = main(
+            ["evaluate", str(csv_path), "--method", "mean", "--holdout", "0.2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "rmse:" in captured.out
+        assert "sample rate: 100.0%" in captured.out
+
+
+class TestGeneratorSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path, rng):
+        model = GAINImputer(seed=0)
+        model.build(5)
+        values = rng.random((10, 5))
+        mask = (rng.random((10, 5)) > 0.3).astype(float)
+        noise = model.sample_noise(mask.shape, np.random.default_rng(0))
+        before = model.reconstruct_batch(values, mask, noise).data.copy()
+
+        path = tmp_path / "gain.npz"
+        save_generator(model, path)
+
+        fresh = GAINImputer(seed=99)  # different init
+        load_generator(fresh, path)
+        after = fresh.reconstruct_batch(values, mask, noise).data
+        assert np.allclose(before, after)
+
+    def test_unbuilt_model_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_generator(GAINImputer(), tmp_path / "x.npz")
+
+    def test_wrong_model_type_rejected(self, tmp_path):
+        model = GAINImputer(seed=0)
+        model.build(4)
+        path = tmp_path / "gain.npz"
+        save_generator(model, path)
+        with pytest.raises(ValueError):
+            load_generator(GINNImputer(), path)
+
+    def test_ginn_roundtrip(self, tmp_path):
+        model = GINNImputer(seed=0)
+        model.build(4)
+        path = tmp_path / "ginn.npz"
+        save_generator(model, path)
+        fresh = GINNImputer(seed=1)
+        load_generator(fresh, path)
+        assert fresh.generator.num_parameters() == model.generator.num_parameters()
+
+
+class TestScisResultSerialization:
+    def test_roundtrip(self, tmp_path, small_incomplete):
+        config = ScisConfig(
+            initial_size=60,
+            validation_size=60,
+            error_bound=0.05,
+            dim=DimConfig(epochs=3),
+            seed=0,
+        )
+        result = SCIS(GAINImputer(epochs=3, seed=0), config).fit_transform(
+            small_incomplete
+        )
+        path = tmp_path / "scis.npz"
+        save_scis_result(result, path)
+        summary = load_scis_summary(path)
+        assert summary["n_star"] == result.n_star
+        assert summary["sample_rate"] == pytest.approx(result.sample_rate)
+        assert np.allclose(summary["imputed"], result.imputed)
+        assert "sse" in summary["timings"]

@@ -1,0 +1,117 @@
+"""DIM module: MS-divergence training of GAN imputers."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIM, DimConfig
+from repro.data import holdout_split
+from repro.models import GAINImputer, MeanImputer
+from repro.nn import flatten_parameters
+
+
+@pytest.fixture
+def case(small_incomplete, rng):
+    return holdout_split(small_incomplete, 0.2, rng)
+
+
+class TestDimTraining:
+    def test_builds_unbuilt_model(self, case, rng):
+        model = GAINImputer(seed=0)
+        DIM(DimConfig(epochs=1)).train(model, case.train, rng)
+        assert model.generator.num_parameters() > 0
+
+    def test_marks_model_fitted(self, case, rng):
+        model = GAINImputer(seed=0)
+        DIM(DimConfig(epochs=1)).train(model, case.train, rng)
+        imputed = model.transform(case.train)
+        assert not np.isnan(imputed).any()
+
+    def test_parameters_move(self, case, rng):
+        model = GAINImputer(seed=0)
+        model.build(case.train.n_features)
+        before = flatten_parameters(model.generator).copy()
+        DIM(DimConfig(epochs=1)).train(model, case.train, rng)
+        assert not np.allclose(before, flatten_parameters(model.generator))
+
+    def test_loss_decreases_over_training(self, case, rng):
+        model = GAINImputer(seed=0)
+        report = DIM(DimConfig(epochs=25)).train(model, case.train, rng)
+        early = np.mean(report.ms_losses[:5])
+        late = np.mean(report.ms_losses[-5:])
+        assert late < early
+
+    def test_report_counts_steps(self, case, rng):
+        config = DimConfig(epochs=3, batch_size=128)
+        report = DIM(config).train(GAINImputer(seed=0), case.train, rng)
+        batches_per_epoch = int(np.ceil(case.train.n_samples / 128))
+        assert report.steps == 3 * batches_per_epoch
+        assert report.seconds > 0
+        assert report.final_ms_loss == report.ms_losses[-1]
+
+    def test_epochs_override(self, case, rng):
+        config = DimConfig(epochs=10)
+        report = DIM(config).train(GAINImputer(seed=0), case.train, rng, epochs=1)
+        assert report.epochs == 1
+
+    def test_dim_beats_mean(self, case, rng):
+        model = GAINImputer(seed=0)
+        DIM(DimConfig(epochs=40)).train(model, case.train, rng)
+        dim_rmse = case.rmse(model.transform(case.train))
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert dim_rmse < mean_rmse
+
+    def test_pure_ms_loss_without_adversarial(self, case, rng):
+        config = DimConfig(epochs=5, use_adversarial=False)
+        model = GAINImputer(seed=0)
+        report = DIM(config).train(model, case.train, rng)
+        assert report.steps > 0
+        assert np.isfinite(report.ms_losses).all()
+
+    def test_no_rec_weight(self, case, rng):
+        config = DimConfig(epochs=2, rec_weight=0.0)
+        report = DIM(config).train(GAINImputer(seed=0), case.train, rng)
+        assert np.isfinite(report.ms_losses).all()
+
+    def test_single_row_batches_skipped(self, rng):
+        from repro.data import IncompleteDataset
+
+        tiny = IncompleteDataset(np.array([[0.5, np.nan], [np.nan, 0.2], [0.1, 0.9]]))
+        config = DimConfig(epochs=2, batch_size=2)
+        report = DIM(config).train(GAINImputer(seed=0), tiny, rng)
+        # batches of size 2 run; the trailing singleton is skipped
+        assert report.steps == 2
+
+
+class TestDimImputer:
+    def test_full_data_dim_wrapper(self, case, rng):
+        from repro.core import DimConfig, DimImputer
+        from repro.models import GAINImputer
+
+        wrapper = DimImputer(GAINImputer(seed=0), DimConfig(epochs=2), seed=0)
+        imputed = wrapper.fit_transform(case.train)
+        assert imputed.shape == case.train.shape
+        assert wrapper.sample_rate == 1.0
+        assert wrapper.name == "dim-gain"
+        assert wrapper.report is not None
+
+    def test_fixed_fraction_variant(self, case):
+        from repro.core import DimConfig, DimImputer
+        from repro.models import GAINImputer
+
+        wrapper = DimImputer(
+            GAINImputer(seed=0), DimConfig(epochs=2), subsample_fraction=0.25, seed=0
+        )
+        wrapper.fit(case.train)
+        assert wrapper.sample_rate == 0.25
+        assert wrapper.name == "fixed-dim-gain"
+
+    def test_invalid_fraction_raises(self):
+        import pytest as _pytest
+
+        from repro.core import DimImputer
+        from repro.models import GAINImputer
+
+        with _pytest.raises(ValueError):
+            DimImputer(GAINImputer(), subsample_fraction=0.0)
+        with _pytest.raises(ValueError):
+            DimImputer(GAINImputer(), subsample_fraction=1.5)

@@ -1,0 +1,113 @@
+"""SCIS orchestrator: Algorithm 1 end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCIS, DimConfig, ScisConfig
+from repro.data import holdout_split
+from repro.models import GAINImputer, GINNImputer, MeanImputer
+
+
+@pytest.fixture
+def case(small_incomplete, rng):
+    return holdout_split(small_incomplete, 0.2, rng)
+
+
+def _config(**overrides):
+    base = dict(
+        initial_size=80,
+        validation_size=80,
+        error_bound=0.02,
+        dim=DimConfig(epochs=15),
+        seed=0,
+    )
+    base.update(overrides)
+    return ScisConfig(**base)
+
+
+class TestScisConfig:
+    def test_validation_defaults_to_initial(self):
+        config = ScisConfig(initial_size=123)
+        assert config.validation_size == 123
+
+    def test_shared_knobs_propagate(self):
+        config = ScisConfig(reg=7.0, error_bound=0.5, confidence=0.1, beta=0.05)
+        assert config.dim.reg == 7.0
+        assert config.sse.reg == 7.0
+        assert config.sse.error_bound == 0.5
+        assert config.sse.confidence == 0.1
+        assert config.sse.beta == 0.05
+
+
+class TestScisRun:
+    def test_end_to_end(self, case):
+        result = SCIS(GAINImputer(seed=0), _config()).fit_transform(case.train)
+        assert result.imputed.shape == case.train.shape
+        assert not np.isnan(result.imputed).any()
+        assert 80 <= result.n_star <= case.train.n_samples
+        assert 0 < result.sample_rate <= 1.0
+
+    def test_observed_cells_untouched(self, case):
+        result = SCIS(GAINImputer(seed=0), _config()).fit_transform(case.train)
+        observed = case.train.mask == 1.0
+        assert np.allclose(
+            result.imputed[observed], np.nan_to_num(case.train.values)[observed]
+        )
+
+    def test_timings_recorded(self, case):
+        result = SCIS(GAINImputer(seed=0), _config()).fit_transform(case.train)
+        for key in ("initial_train", "sse", "retrain", "impute", "total"):
+            assert key in result.timings
+        assert result.total_seconds >= result.timings["initial_train"]
+
+    def test_retrain_skipped_when_n_star_is_initial(self, case):
+        config = _config(error_bound=10.0)  # everything passes at n0
+        result = SCIS(GAINImputer(seed=0), config).fit_transform(case.train)
+        assert result.n_star == 80
+        assert result.retrain_report is None
+        assert result.timings["retrain"] == 0.0
+
+    def test_retrain_happens_for_tight_bound(self, case):
+        config = _config(error_bound=0.003)
+        result = SCIS(GAINImputer(seed=0), config).fit_transform(case.train)
+        assert result.n_star > 80
+        assert result.retrain_report is not None
+
+    def test_oversized_split_raises(self, case):
+        config = _config(initial_size=300, validation_size=300)
+        with pytest.raises(ValueError):
+            SCIS(GAINImputer(seed=0), config).fit_transform(case.train)
+
+    def test_competitive_with_plain_gain(self, case):
+        """SCIS should land close to (or better than) full-data GAIN."""
+        scis_result = SCIS(
+            GAINImputer(seed=0), _config(dim=DimConfig(epochs=30))
+        ).fit_transform(case.train)
+        gain = GAINImputer(epochs=30, seed=0)
+        gain_rmse = case.rmse(gain.fit_transform(case.train))
+        scis_rmse = case.rmse(scis_result.imputed)
+        assert scis_rmse < gain_rmse * 1.25
+
+    def test_beats_mean_imputation(self, case):
+        result = SCIS(
+            GAINImputer(seed=0), _config(dim=DimConfig(epochs=30))
+        ).fit_transform(case.train)
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert case.rmse(result.imputed) < mean_rmse
+
+    def test_works_with_ginn(self, case):
+        config = _config(dim=DimConfig(epochs=5))
+        result = SCIS(GINNImputer(seed=0), config).fit_transform(case.train)
+        assert not np.isnan(result.imputed).any()
+
+    def test_reproducible_with_same_seed(self, case):
+        result_a = SCIS(GAINImputer(seed=0), _config()).fit_transform(case.train)
+        result_b = SCIS(GAINImputer(seed=0), _config()).fit_transform(case.train)
+        assert result_a.n_star == result_b.n_star
+        assert np.allclose(result_a.imputed, result_b.imputed)
+
+    def test_chunked_imputation_matches_whole(self, case):
+        config = _config()
+        config.impute_chunk = 37  # force many chunks
+        result = SCIS(GAINImputer(seed=0), config).fit_transform(case.train)
+        assert not np.isnan(result.imputed).any()

@@ -1,0 +1,169 @@
+"""SSE module: Theorem 1 variance scale, Proposition 2 test, binary search."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIM, DimConfig, SSE, SseConfig, eta, zeta
+from repro.data import holdout_split
+from repro.models import GAINImputer
+from repro.nn import flatten_parameters
+
+
+@pytest.fixture
+def trained(small_incomplete, rng):
+    """A DIM-trained GAIN plus validation/initial splits, shared per test."""
+    holdout = holdout_split(small_incomplete, 0.2, rng)
+    split = holdout.train.split_validation_initial(80, 80, rng)
+    model = GAINImputer(seed=0)
+    DIM(DimConfig(epochs=15)).train(model, split.initial, rng)
+    return model, split, holdout
+
+
+class TestVarianceScale:
+    def test_zeta_decreasing_in_lambda(self):
+        assert zeta(1.0, 4) > zeta(10.0, 4) > zeta(130.0, 4)
+
+    def test_zeta_close_to_one_for_paper_lambda(self):
+        assert zeta(130.0, 9) == pytest.approx(1.0, abs=0.06)
+
+    def test_eta_zero_when_n_equals_n0(self):
+        assert eta(130.0, 5, 100, 100) == pytest.approx(0.0)
+
+    def test_eta_monotone_increasing_in_n(self):
+        values = [eta(130.0, 5, 100, n) for n in (100, 200, 400, 10_000)]
+        assert values == sorted(values)
+
+    def test_eta_decreasing_in_n0(self):
+        assert eta(130.0, 5, 100, 1000) > eta(130.0, 5, 500, 1000)
+
+    def test_eta_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            eta(130.0, 5, 100, 50)
+
+
+class TestPassThreshold:
+    def test_paper_defaults_cap_at_one(self):
+        config = SseConfig(confidence=0.05, beta=0.01, n_parameter_samples=20)
+        assert config.pass_threshold() == 1.0
+
+    def test_large_k_below_one(self):
+        config = SseConfig(confidence=0.05, beta=0.01, n_parameter_samples=100_000)
+        assert config.pass_threshold() < 1.0
+
+    def test_threshold_increases_with_confidence(self):
+        strict = SseConfig(confidence=0.01, beta=0.005, n_parameter_samples=100_000)
+        loose = SseConfig(confidence=0.2, beta=0.005, n_parameter_samples=100_000)
+        assert strict.pass_threshold() > loose.pass_threshold()
+
+
+class TestHessian:
+    def test_diagonal_positive(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        diagonal = sse.estimate_hessian_diagonal(
+            split.initial.values, split.initial.mask
+        )
+        assert (diagonal > 0).all()
+        assert diagonal.size == model.generator.num_parameters()
+
+    def test_floor_applied(self, trained, rng):
+        model, split, _ = trained
+        config = SseConfig(hessian_floor=0.5)
+        sse = SSE(model, split.validation.values, split.validation.mask, config, rng)
+        diagonal = sse.estimate_hessian_diagonal(
+            split.initial.values, split.initial.mask
+        )
+        # The floor is 0.5 × the pre-floor mean; flooring can raise the mean
+        # by at most (1 + floor)×, so min/mean ≥ 0.5/1.5 must hold.
+        assert diagonal.min() >= diagonal.mean() / 3.0 * (1 - 1e-9)
+
+    def test_empty_sample_raises(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        with pytest.raises(ValueError):
+            sse.estimate_hessian_diagonal(np.zeros((0, 6)), np.zeros((0, 6)))
+
+
+class TestImputationDifference:
+    def test_zero_for_identical_parameters(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        theta = flatten_parameters(model.generator)
+        assert sse.imputation_difference(theta, theta) == pytest.approx(0.0)
+
+    def test_positive_for_perturbed_parameters(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        theta = flatten_parameters(model.generator)
+        perturbed = theta + 0.1 * rng.standard_normal(theta.size)
+        assert sse.imputation_difference(theta, perturbed) > 0.0
+
+    def test_restores_original_parameters(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        theta = flatten_parameters(model.generator).copy()
+        sse.imputation_difference(theta + 1.0, theta - 1.0)
+        assert np.allclose(flatten_parameters(model.generator), theta)
+
+    def test_grows_with_perturbation_size(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        theta = flatten_parameters(model.generator)
+        direction = rng.standard_normal(theta.size)
+        small = sse.imputation_difference(theta, theta + 0.01 * direction)
+        large = sse.imputation_difference(theta, theta + 0.1 * direction)
+        assert large > small
+
+
+class TestMinimumSizeSearch:
+    def _prepared(self, trained, rng, error_bound):
+        model, split, _ = trained
+        config = SseConfig(error_bound=error_bound)
+        sse = SSE(model, split.validation.values, split.validation.mask, config, rng)
+        sse.prepare(split.initial.values, split.initial.mask)
+        return sse
+
+    def test_requires_prepare(self, trained, rng):
+        model, split, _ = trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        with pytest.raises(RuntimeError):
+            sse.estimate_minimum_size(80, 400)
+        with pytest.raises(RuntimeError):
+            sse.pass_probability(100, 80, 400, 6)
+
+    def test_n_star_within_bounds(self, trained, rng):
+        sse = self._prepared(trained, rng, error_bound=0.02)
+        result = sse.estimate_minimum_size(80, 400)
+        assert 80 <= result.n_star <= 400
+        assert result.sample_rate == result.n_star / 400
+
+    def test_huge_error_bound_returns_initial(self, trained, rng):
+        sse = self._prepared(trained, rng, error_bound=10.0)
+        result = sse.estimate_minimum_size(80, 400)
+        assert result.n_star == 80
+
+    def test_tiny_error_bound_returns_total(self, trained, rng):
+        sse = self._prepared(trained, rng, error_bound=1e-9)
+        result = sse.estimate_minimum_size(80, 400)
+        assert result.n_star == 400
+
+    def test_smaller_epsilon_larger_n_star(self, trained, rng):
+        loose = self._prepared(trained, np.random.default_rng(0), error_bound=0.05)
+        n_loose = loose.estimate_minimum_size(80, 400).n_star
+        strict = self._prepared(trained, np.random.default_rng(0), error_bound=0.005)
+        n_strict = strict.estimate_minimum_size(80, 400).n_star
+        assert n_strict >= n_loose
+
+    def test_pass_probability_monotone_in_n(self, trained, rng):
+        sse = self._prepared(trained, rng, error_bound=0.02)
+        # Average several estimates to damp sampling noise.
+        small = np.mean([sse.pass_probability(100, 80, 4000, 6) for _ in range(5)])
+        large = np.mean([sse.pass_probability(3500, 80, 4000, 6) for _ in range(5)])
+        assert large >= small
+
+    def test_result_records_evaluations(self, trained, rng):
+        sse = self._prepared(trained, rng, error_bound=0.02)
+        result = sse.estimate_minimum_size(80, 400)
+        assert result.evaluations
+        assert result.seconds >= 0
+        assert result.threshold == 1.0

@@ -1,0 +1,117 @@
+"""Cross-module integration: full pipelines and the example scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, prepare_case, run_method
+from repro.core import SCIS, DIM, DimConfig, DimImputer, ScisConfig
+from repro.metrics import DownstreamConfig, evaluate_downstream
+from repro.models import GAINImputer, MeanImputer, make_imputer
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFullPipeline:
+    def test_generate_normalize_impute_score(self):
+        case = prepare_case("emergency", n_samples=600, seed=0)
+        result = run_method(
+            lambda seed: GAINImputer(epochs=10, seed=seed), case, n_seeds=1
+        )
+        assert result.available
+        assert 0 < result.rmse_mean < 1.0
+
+    def test_scis_pipeline_through_bench(self):
+        case = prepare_case("trial", n_samples=800, seed=0)
+        config = ScisConfig(
+            initial_size=100,
+            error_bound=0.03,
+            dim=DimConfig(epochs=10),
+            seed=0,
+        )
+        result = run_method(
+            lambda seed: SCIS(GAINImputer(epochs=10, seed=seed), config),
+            case,
+            method_name="scis-gain",
+        )
+        assert result.available
+        assert result.sample_rate <= 1.0
+        table = format_table([result], title="smoke")
+        assert "scis-gain" in table
+
+    def test_dim_imputer_through_bench(self):
+        case = prepare_case("trial", n_samples=500, seed=0)
+        result = run_method(
+            lambda seed: DimImputer(
+                GAINImputer(epochs=5, seed=seed),
+                DimConfig(epochs=5),
+                subsample_fraction=0.5,
+                seed=seed,
+            ),
+            case,
+        )
+        assert result.available
+        assert result.sample_rate == 0.5
+        assert result.method == "fixed-dim-gain"
+
+    def test_impute_then_downstream(self):
+        case = prepare_case("trial", n_samples=800, seed=0)
+        imputed = MeanImputer().fit_transform(case.train)
+        outcome = evaluate_downstream(
+            imputed, case.labels, case.task, DownstreamConfig(epochs=10, seed=0)
+        )
+        assert outcome.metric == "auc"
+        assert 0.0 <= outcome.score <= 1.0
+
+    def test_dim_then_manual_sse_flow(self, small_incomplete, rng):
+        """The decomposed API (DIM + SSE called manually) matches Algorithm 1."""
+        from repro.core.sse import SSE, SseConfig
+
+        split = small_incomplete.split_validation_initial(80, 80, rng)
+        model = GAINImputer(seed=0)
+        DIM(DimConfig(epochs=10)).train(model, split.initial, rng)
+        sse = SSE(
+            model,
+            split.validation.values,
+            split.validation.mask,
+            SseConfig(error_bound=0.05),
+            rng,
+        )
+        sse.prepare(split.initial.values, split.initial.mask)
+        result = sse.estimate_minimum_size(80, small_incomplete.n_samples)
+        assert 80 <= result.n_star <= small_incomplete.n_samples
+
+    def test_registry_methods_run_end_to_end(self):
+        """Every registry method completes a miniature end-to-end run."""
+        case = prepare_case("trial", n_samples=200, seed=0)
+        quick = {
+            "mean": {},
+            "knn": {"k": 3},
+            "mice": {"n_imputations": 1, "n_iterations": 1},
+            "gain": {"epochs": 2},
+            "midae": {"epochs": 2},
+            "vaei": {"epochs": 2},
+        }
+        for name, kwargs in quick.items():
+            imputed = make_imputer(name, **kwargs).fit_transform(case.train)
+            assert not np.isnan(imputed).any(), name
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "custom_model.py"],
+)
+def test_example_scripts_run(script, tmp_path, monkeypatch):
+    """The lighter example scripts execute end-to-end (smoke test)."""
+    path = EXAMPLES_DIR / script
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()

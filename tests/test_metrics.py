@@ -1,0 +1,135 @@
+"""Metrics: masked RMSE/MAE, AUC, and the downstream prediction harness."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    DownstreamConfig,
+    accuracy_score,
+    auc_score,
+    evaluate_downstream,
+    masked_mae,
+    masked_rmse,
+)
+
+
+class TestMaskedErrors:
+    def test_rmse_hand_computed(self):
+        prediction = np.array([[1.0, 5.0], [2.0, 0.0]])
+        truth = np.array([[0.0, 5.0], [0.0, 9.0]])
+        mask = np.array([[1.0, 1.0], [1.0, 0.0]])
+        assert masked_rmse(prediction, truth, mask) == pytest.approx(
+            np.sqrt((1 + 0 + 4) / 3)
+        )
+
+    def test_mae_hand_computed(self):
+        prediction = np.array([[1.0, 5.0]])
+        truth = np.array([[0.0, 2.0]])
+        mask = np.array([[1.0, 1.0]])
+        assert masked_mae(prediction, truth, mask) == pytest.approx(2.0)
+
+    def test_masked_cells_ignored(self):
+        prediction = np.array([[1.0, 1e9]])
+        truth = np.zeros((1, 2))
+        mask = np.array([[1.0, 0.0]])
+        assert masked_rmse(prediction, truth, mask) == pytest.approx(1.0)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            masked_rmse(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_rmse(np.zeros((2, 2)), np.zeros((2, 3)), np.ones((2, 2)))
+
+    def test_perfect_prediction_zero(self, rng):
+        truth = rng.normal(size=(10, 4))
+        mask = np.ones((10, 4))
+        assert masked_rmse(truth, truth, mask) == 0.0
+        assert masked_mae(truth, truth, mask) == 0.0
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_perfectly_wrong(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = (rng.random(4000) > 0.5).astype(float)
+        scores = rng.random(4000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_hand_computed_case(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.3, 0.1])
+        # pairs: (0.9>0.8)=1, (0.9>0.1)=1, (0.3<0.8)=0, (0.3>0.1)=1 -> 3/4
+        assert auc_score(labels, scores) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(5), np.linspace(0, 1, 5))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.zeros(3), np.zeros(4))
+
+    def test_invariant_to_monotone_transform(self, rng):
+        labels = (rng.random(200) > 0.5).astype(float)
+        scores = rng.normal(size=200)
+        assert auc_score(labels, scores) == pytest.approx(
+            auc_score(labels, np.exp(scores))
+        )
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+
+class TestDownstream:
+    def test_classification_on_learnable_data(self, rng):
+        x = rng.normal(size=(600, 5))
+        labels = (x[:, 0] + x[:, 1] > 0).astype(float)
+        result = evaluate_downstream(
+            x, labels, "classification", DownstreamConfig(epochs=30, dropout=0.2)
+        )
+        assert result.metric == "auc"
+        assert result.score > 0.8
+
+    def test_regression_on_learnable_data(self, rng):
+        x = rng.normal(size=(600, 5))
+        target = 2.0 * x[:, 0] - x[:, 2]
+        result = evaluate_downstream(
+            x, target, "regression", DownstreamConfig(epochs=40, dropout=0.0)
+        )
+        assert result.metric == "mae"
+        assert result.score < np.abs(target).mean()
+
+    def test_nan_input_raises(self, rng):
+        x = rng.normal(size=(50, 3))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            evaluate_downstream(x, np.zeros(50), "classification")
+
+    def test_unknown_task_raises(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_downstream(rng.normal(size=(50, 3)), np.zeros(50), "ranking")
+
+    def test_row_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_downstream(rng.normal(size=(50, 3)), np.zeros(40), "regression")

@@ -1,0 +1,131 @@
+"""Autoencoder-based imputers: MIDAE, VAEI, MIWAE, EDDI, HIVAE."""
+
+import numpy as np
+import pytest
+
+from repro.data import IncompleteDataset, holdout_split
+from repro.models import (
+    EDDIImputer,
+    HIVAEImputer,
+    MeanImputer,
+    MIDAEImputer,
+    MIWAEImputer,
+    VAEImputer,
+)
+
+ALL_AE = [
+    ("midae", lambda: MIDAEImputer(epochs=30, seed=0)),
+    ("vaei", lambda: VAEImputer(epochs=40, seed=0)),
+    ("miwae", lambda: MIWAEImputer(epochs=80, n_importance=4, seed=0)),
+    ("eddi", lambda: EDDIImputer(epochs=120, seed=0)),
+    ("hivae", lambda: HIVAEImputer(epochs=120, seed=0)),
+]
+
+
+@pytest.fixture
+def case(small_incomplete, rng):
+    return holdout_split(small_incomplete, 0.2, rng)
+
+
+@pytest.mark.parametrize("name,factory", ALL_AE, ids=[n for n, _ in ALL_AE])
+class TestAutoencoderContract:
+    def test_fit_transform_shape_and_no_nan(self, case, name, factory):
+        imputed = factory().fit_transform(case.train)
+        assert imputed.shape == case.train.shape
+        assert not np.isnan(imputed).any()
+
+    def test_observed_cells_untouched(self, case, name, factory):
+        imputed = factory().fit_transform(case.train)
+        observed = case.train.mask == 1.0
+        assert np.allclose(
+            imputed[observed], np.nan_to_num(case.train.values)[observed]
+        )
+
+    def test_unfitted_raises(self, case, name, factory):
+        with pytest.raises(RuntimeError):
+            factory().transform(case.train)
+
+    def test_reconstruct_new_rows(self, case, name, factory):
+        model = factory()
+        model.epochs = 2
+        model.fit(case.train)
+        out = model.reconstruct(case.train.values[:5], case.train.mask[:5])
+        assert out.shape == (5, case.train.n_features)
+
+
+class TestTrainingImproves:
+    @pytest.mark.parametrize(
+        "factory",
+        [f for _, f in ALL_AE],
+        ids=[n for n, _ in ALL_AE],
+    )
+    def test_competitive_with_mean(self, case, factory):
+        """Trained AE imputers should land in the mean-imputer ballpark or better."""
+        rmse = case.rmse(factory().fit_transform(case.train))
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert rmse < mean_rmse * 1.3
+
+    def test_midae_beats_untrained(self, case):
+        trained = MIDAEImputer(epochs=40, seed=0)
+        untrained = MIDAEImputer(epochs=0, seed=0)
+        rmse_trained = case.rmse(trained.fit_transform(case.train))
+        # epochs=0 leaves random weights; imputation should be worse.
+        untrained._column_means = np.zeros(case.train.n_features)
+        untrained._build(case.train.n_features)
+        untrained._fitted = True
+        rmse_untrained = case.rmse(untrained.transform(case.train))
+        assert rmse_trained < rmse_untrained
+
+
+class TestMIDAESpecifics:
+    def test_multiple_imputation_is_average(self, case):
+        model = MIDAEImputer(epochs=5, n_imputations=1, seed=0)
+        imputed_once = model.fit_transform(case.train)
+        model.n_imputations = 20
+        imputed_many = model.transform(case.train)
+        # More imputations smooth the dropout noise; values stay in range.
+        assert imputed_many.shape == imputed_once.shape
+
+
+class TestMIWAESpecifics:
+    def test_importance_weights_normalised(self, case, rng):
+        model = MIWAEImputer(epochs=3, n_importance=4, seed=0)
+        model.fit(case.train)
+        out = model.reconstruct(case.train.values[:10], case.train.mask[:10])
+        assert np.isfinite(out).all()
+
+    def test_single_importance_sample_ok(self, case):
+        model = MIWAEImputer(epochs=2, n_importance=1, seed=0)
+        assert not np.isnan(model.fit_transform(case.train)).any()
+
+
+class TestHIVAESpecifics:
+    def test_binary_columns_get_probabilities(self, rng):
+        values = np.column_stack(
+            [rng.normal(size=100), (rng.random(100) > 0.5).astype(float)]
+        )
+        values[rng.random(values.shape) < 0.3] = np.nan
+        ds = IncompleteDataset(values, feature_types=["continuous", "binary"])
+        model = HIVAEImputer(epochs=10, seed=0)
+        model.fit(ds)
+        recon = model.reconstruct(ds.values, ds.mask)
+        assert (recon[:, 1] >= 0).all() and (recon[:, 1] <= 1).all()
+
+    def test_defaults_to_no_binary_columns(self, case):
+        model = HIVAEImputer(epochs=2, seed=0)
+        model._build(case.train.n_features)
+        assert not model._binary_columns.any()
+
+
+class TestEDDISpecifics:
+    def test_set_encoder_ignores_missing_cells(self, rng):
+        """Two rows identical on observed cells but different at missing ones
+        must encode identically (the encoder only sees observed cells)."""
+        model = EDDIImputer(epochs=1, seed=0)
+        model._column_means = np.zeros(3)
+        model._build(3)
+        x = np.array([[1.0, 2.0, 999.0], [1.0, 2.0, -999.0]])
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]])
+        filled = x * mask  # missing slots carry junk that the mask hides
+        mean_a, _ = model._encode_set(filled, mask)
+        assert np.allclose(mean_a.data[0], mean_a.data[1])

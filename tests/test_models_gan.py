@@ -1,0 +1,145 @@
+"""GAN imputers: GAIN, GINN, and the GenerativeImputer contract."""
+
+import numpy as np
+import pytest
+
+from repro.data import holdout_split
+from repro.models import GAINImputer, GINNImputer, MeanImputer, knn_graph_adjacency
+from repro.nn import flatten_parameters
+
+
+@pytest.fixture
+def case(small_incomplete, rng):
+    return holdout_split(small_incomplete, 0.2, rng)
+
+
+GAN_FACTORIES = [
+    ("gain", lambda: GAINImputer(epochs=60, seed=0)),
+    ("ginn", lambda: GINNImputer(epochs=25, seed=0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", GAN_FACTORIES, ids=[n for n, _ in GAN_FACTORIES])
+class TestGanContract:
+    def test_fit_transform(self, case, name, factory):
+        imputed = factory().fit_transform(case.train)
+        assert imputed.shape == case.train.shape
+        assert not np.isnan(imputed).any()
+
+    def test_observed_cells_untouched(self, case, name, factory):
+        imputed = factory().fit_transform(case.train)
+        observed = case.train.mask == 1.0
+        assert np.allclose(
+            imputed[observed], np.nan_to_num(case.train.values)[observed]
+        )
+
+    def test_generator_before_build_raises(self, name, factory):
+        with pytest.raises(RuntimeError):
+            _ = factory().generator
+
+    def test_build_creates_generator(self, name, factory):
+        model = factory()
+        model.build(5)
+        assert model.generator.num_parameters() > 0
+
+    def test_reconstruct_batch_is_differentiable(self, case, name, factory):
+        model = factory()
+        model.build(case.train.n_features)
+        values = case.train.values[:16]
+        mask = case.train.mask[:16]
+        noise = model.sample_noise(mask.shape, np.random.default_rng(0))
+        out = model.reconstruct_batch(values, mask, noise)
+        assert out.requires_grad
+        out.sum().backward()
+        grads = [p.grad for p in model.generator.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_adversarial_step_updates_generator(self, case, name, factory):
+        model = factory()
+        model.build(case.train.n_features)
+        before = flatten_parameters(model.generator).copy()
+        model.adversarial_step(
+            case.train.values[:32], case.train.mask[:32], np.random.default_rng(0)
+        )
+        after = flatten_parameters(model.generator)
+        assert not np.allclose(before, after)
+
+    def test_reconstruction_in_unit_interval(self, case, name, factory):
+        model = factory()
+        model.build(case.train.n_features)
+        noise = model.sample_noise(case.train.mask[:8].shape, np.random.default_rng(0))
+        out = model.reconstruct_batch(case.train.values[:8], case.train.mask[:8], noise)
+        assert (out.data >= 0).all() and (out.data <= 1).all()
+
+
+class TestGAINSpecifics:
+    def test_beats_mean_on_correlated_data(self, case):
+        gain_rmse = case.rmse(GAINImputer(epochs=100, seed=0).fit_transform(case.train))
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert gain_rmse < mean_rmse
+
+    def test_adversarial_losses_finite(self, case):
+        model = GAINImputer(seed=0)
+        model.build(case.train.n_features)
+        stats = model.adversarial_step(
+            case.train.values[:32], case.train.mask[:32], np.random.default_rng(0)
+        )
+        assert np.isfinite(stats["d_loss"]) and np.isfinite(stats["g_loss"])
+
+    def test_noise_scale(self):
+        model = GAINImputer(noise_scale=0.01)
+        noise = model.sample_noise((100, 5), np.random.default_rng(0))
+        assert noise.min() >= 0.0 and noise.max() <= 0.01
+
+    def test_hidden_defaults_to_feature_count(self):
+        model = GAINImputer()
+        model.build(12)
+        assert model.generator.layers[0].out_features == 12
+
+
+class TestKnnGraph:
+    def test_symmetric(self, rng):
+        adjacency = knn_graph_adjacency(rng.normal(size=(20, 3)), k=4)
+        assert np.allclose(adjacency, adjacency.T)
+
+    def test_self_loops_on_diagonal(self, rng):
+        adjacency = knn_graph_adjacency(rng.normal(size=(10, 2)), k=2)
+        assert (np.diag(adjacency) > 0).all()
+
+    def test_normalisation_bounded(self, rng):
+        adjacency = knn_graph_adjacency(rng.normal(size=(30, 3)), k=5)
+        eigenvalues = np.linalg.eigvalsh(adjacency)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_two_clusters_not_connected(self):
+        cluster_a = np.zeros((5, 2))
+        cluster_b = np.full((5, 2), 100.0)
+        features = np.vstack([cluster_a + 0.01 * np.arange(5)[:, None], cluster_b])
+        adjacency = knn_graph_adjacency(features, k=2)
+        assert np.allclose(adjacency[:5, 5:], 0.0)
+
+    def test_tiny_input(self):
+        adjacency = knn_graph_adjacency(np.zeros((1, 2)), k=3)
+        assert adjacency.shape == (1, 1)
+
+
+class TestGINNSpecifics:
+    def test_critic_steps_configurable(self, case):
+        model = GINNImputer(critic_steps=2, seed=0)
+        model.build(case.train.n_features)
+        stats = model.adversarial_step(
+            case.train.values[:16], case.train.mask[:16], np.random.default_rng(0)
+        )
+        assert np.isfinite(stats["d_loss"])
+
+    def test_gcn_uses_graph_structure(self, case):
+        """Permuting rows must permute the reconstruction consistently."""
+        model = GINNImputer(seed=0)
+        model.build(case.train.n_features)
+        values = case.train.values[:12]
+        mask = case.train.mask[:12]
+        noise = model.sample_noise(mask.shape, np.random.default_rng(0))
+        base = model.reconstruct_batch(values, mask, noise).data
+        perm = np.random.default_rng(1).permutation(12)
+        permuted = model.reconstruct_batch(values[perm], mask[perm], noise[perm]).data
+        assert np.allclose(permuted, base[perm], atol=1e-8)

@@ -1,0 +1,132 @@
+"""Machine-learning imputers: MissForest, MICE, Baran, DataWig, RRSI."""
+
+import numpy as np
+import pytest
+
+from repro.data import holdout_split
+from repro.models import (
+    BaranImputer,
+    DataWigImputer,
+    MeanImputer,
+    MICEImputer,
+    MissForestImputer,
+    RidgeRegression,
+    RRSIImputer,
+)
+
+
+@pytest.fixture
+def case(small_incomplete, rng):
+    return holdout_split(small_incomplete, 0.2, rng)
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_coefficients(self, rng):
+        x = rng.normal(size=(500, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = RidgeRegression(alpha=1e-8).fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-6)
+
+    def test_regularisation_shrinks(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = x @ np.array([2.0, -1.0, 0.5])
+        loose = RidgeRegression(alpha=1e-8).fit(x, y)
+        tight = RidgeRegression(alpha=100.0).fit(x, y)
+        assert np.linalg.norm(tight._weights[:-1]) < np.linalg.norm(loose._weights[:-1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((2, 2)))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: MissForestImputer(n_trees=8, max_depth=6, n_iterations=2),
+        lambda: MICEImputer(n_imputations=3, n_iterations=2),
+        lambda: BaranImputer(n_estimators=8, n_iterations=1),
+    ],
+    ids=["missforest", "mice", "baran"],
+)
+class TestIterativeImputers:
+    def test_beats_mean_imputation(self, case, factory):
+        model_rmse = case.rmse(factory().fit_transform(case.train))
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert model_rmse < mean_rmse
+
+    def test_observed_cells_untouched(self, case, factory):
+        imputed = factory().fit_transform(case.train)
+        observed = case.train.mask == 1.0
+        assert np.allclose(
+            imputed[observed], np.nan_to_num(case.train.values)[observed]
+        )
+
+    def test_no_nan_output(self, case, factory):
+        assert not np.isnan(factory().fit_transform(case.train)).any()
+
+    def test_reconstruct_new_rows(self, case, factory):
+        model = factory().fit(case.train)
+        new_values = case.train.values[:7].copy()
+        out = model.reconstruct(new_values, case.train.mask[:7])
+        assert out.shape == new_values.shape
+        assert not np.isnan(out).any()
+
+
+class TestMICE:
+    def test_multiple_chains_averaged(self, case):
+        single = MICEImputer(n_imputations=1, n_iterations=2, seed=0)
+        multi = MICEImputer(n_imputations=5, n_iterations=2, seed=0)
+        rmse_single = case.rmse(single.fit_transform(case.train))
+        rmse_multi = case.rmse(multi.fit_transform(case.train))
+        # Averaging chains must not blow up the error.
+        assert rmse_multi < rmse_single * 1.2
+
+    def test_invalid_imputations(self):
+        with pytest.raises(ValueError):
+            MICEImputer(n_imputations=0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            MICEImputer(n_iterations=0)
+
+
+class TestDataWig:
+    def test_improves_over_mean_with_enough_epochs(self, case):
+        model = DataWigImputer(epochs=40, hidden=32)
+        rmse = case.rmse(model.fit_transform(case.train))
+        mean_rmse = case.rmse(MeanImputer().fit_transform(case.train))
+        assert rmse < mean_rmse * 1.05  # at least competitive on 200 rows
+
+    def test_output_shape(self, case):
+        imputed = DataWigImputer(epochs=2).fit_transform(case.train)
+        assert imputed.shape == case.train.shape
+
+
+class TestRRSI:
+    def test_training_moves_missing_entries(self, case):
+        model = RRSIImputer(epochs=30, seed=0)
+        imputed = model.fit_transform(case.train)
+        missing = case.train.mask == 0.0
+        means = np.nanmean(case.train.values, axis=0)
+        mean_fill = np.tile(means, (case.train.n_samples, 1))
+        assert not np.allclose(imputed[missing], mean_fill[missing], atol=1e-6)
+
+    def test_observed_cells_untouched(self, case):
+        imputed = RRSIImputer(epochs=5).fit_transform(case.train)
+        observed = case.train.mask == 1.0
+        assert np.allclose(
+            imputed[observed], np.nan_to_num(case.train.values)[observed]
+        )
+
+    def test_new_row_fallback_donates_from_train(self, case):
+        model = RRSIImputer(epochs=5).fit(case.train)
+        out = model.reconstruct(case.train.values[:3], case.train.mask[:3])
+        assert not np.isnan(out).any()
+
+    def test_tiny_dataset_keeps_mean_fill(self):
+        from repro.data import IncompleteDataset
+
+        ds = IncompleteDataset(np.array([[1.0, np.nan], [np.nan, 2.0]]))
+        model = RRSIImputer(epochs=3, batch_size=128)
+        imputed = model.fit_transform(ds)
+        assert not np.isnan(imputed).any()

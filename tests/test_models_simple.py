@@ -1,0 +1,142 @@
+"""Statistical imputers: hand-checked values and API invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import IncompleteDataset
+from repro.models import (
+    ConstantImputer,
+    KNNImputer,
+    MeanImputer,
+    MedianImputer,
+    ModeImputer,
+    impute_equation,
+    make_imputer,
+)
+
+
+@pytest.fixture
+def toy():
+    return IncompleteDataset(
+        np.array(
+            [
+                [1.0, np.nan, 2.0],
+                [3.0, 4.0, np.nan],
+                [5.0, 6.0, 2.0],
+                [np.nan, 4.0, 2.0],
+            ]
+        )
+    )
+
+
+class TestImputeEquation:
+    def test_observed_cells_pass_through(self, toy):
+        reconstruction = np.full(toy.shape, 99.0)
+        imputed = impute_equation(toy.values, toy.mask, reconstruction)
+        observed = toy.mask == 1.0
+        assert np.allclose(imputed[observed], np.nan_to_num(toy.values)[observed])
+
+    def test_missing_cells_use_reconstruction(self, toy):
+        reconstruction = np.full(toy.shape, 99.0)
+        imputed = impute_equation(toy.values, toy.mask, reconstruction)
+        assert (imputed[toy.mask == 0.0] == 99.0).all()
+
+    def test_no_nan_in_output(self, toy):
+        imputed = impute_equation(toy.values, toy.mask, np.zeros(toy.shape))
+        assert not np.isnan(imputed).any()
+
+
+class TestColumnStatImputers:
+    def test_mean_values(self, toy):
+        imputed = MeanImputer().fit_transform(toy)
+        assert imputed[0, 1] == pytest.approx((4 + 6 + 4) / 3)
+        assert imputed[3, 0] == pytest.approx(3.0)
+
+    def test_median_values(self, toy):
+        imputed = MedianImputer().fit_transform(toy)
+        assert imputed[0, 1] == pytest.approx(4.0)
+
+    def test_mode_values(self, toy):
+        imputed = ModeImputer().fit_transform(toy)
+        assert imputed[1, 2] == pytest.approx(2.0)
+        assert imputed[0, 1] == pytest.approx(4.0)
+
+    def test_constant(self, toy):
+        imputed = ConstantImputer(value=-7.0).fit_transform(toy)
+        assert imputed[0, 1] == -7.0
+
+    def test_fully_missing_column_falls_back_to_zero(self):
+        ds = IncompleteDataset(np.array([[np.nan, 1.0], [np.nan, 2.0]]))
+        imputed = MeanImputer().fit_transform(ds)
+        assert (imputed[:, 0] == 0.0).all()
+
+    def test_unfitted_raises(self, toy):
+        with pytest.raises(RuntimeError):
+            MeanImputer().transform(toy)
+
+    def test_reconstruct_new_rows(self, toy):
+        model = MeanImputer().fit(toy)
+        out = model.reconstruct(np.array([[np.nan, np.nan, np.nan]]), np.zeros((1, 3)))
+        assert out.shape == (1, 3)
+        assert out[0, 0] == pytest.approx(3.0)
+
+
+class TestKNN:
+    def test_exact_neighbour_recovery(self):
+        # Two identical clusters; the missing value should come from the twin.
+        values = np.array(
+            [
+                [0.0, 0.0, 5.0],
+                [0.0, 0.0, np.nan],
+                [10.0, 10.0, -5.0],
+                [10.0, 10.0, np.nan],
+            ]
+        )
+        ds = IncompleteDataset(values)
+        imputed = KNNImputer(k=1).fit_transform(ds)
+        assert imputed[1, 2] == pytest.approx(5.0)
+        assert imputed[3, 2] == pytest.approx(-5.0)
+
+    def test_k_averaging(self):
+        values = np.array(
+            [
+                [0.0, 2.0],
+                [0.1, 4.0],
+                [0.05, np.nan],
+                [50.0, 100.0],
+            ]
+        )
+        imputed = KNNImputer(k=2).fit_transform(IncompleteDataset(values))
+        assert imputed[2, 1] == pytest.approx(3.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNImputer(k=0)
+
+    def test_beats_mean_on_correlated_data(self, small_incomplete, rng):
+        from repro.data import holdout_split
+
+        hs = holdout_split(small_incomplete, 0.2, rng)
+        knn_rmse = hs.rmse(KNNImputer(k=5).fit_transform(hs.train))
+        mean_rmse = hs.rmse(MeanImputer().fit_transform(hs.train))
+        assert knn_rmse < mean_rmse
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        assert make_imputer("mean").name == "mean"
+        assert make_imputer("MissF").name == "missforest"
+
+    def test_kwargs_forwarded(self):
+        assert make_imputer("knn", k=3).k == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_imputer("nope")
+
+    def test_names_unique(self):
+        from repro.models import imputer_names
+
+        names = imputer_names()
+        assert len(names) == len(set(names))
+        assert "missf" not in names

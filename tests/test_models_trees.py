@@ -1,0 +1,120 @@
+"""Tree substrate: CART, random forest, AdaBoost.R2."""
+
+import numpy as np
+import pytest
+
+from repro.models import AdaBoostRegressor, DecisionTreeRegressor, RandomForestRegressor
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self, rng):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 3.0
+        tree = DecisionTreeRegressor(max_depth=2, rng=rng).fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_constant_target_single_leaf(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = np.full(50, 2.5)
+        tree = DecisionTreeRegressor(rng=rng).fit(x, y)
+        assert np.allclose(tree.predict(x), 2.5)
+        assert tree._root.is_leaf
+
+    def test_max_depth_limits_tree(self, rng):
+        x = rng.normal(size=(200, 1))
+        y = np.sin(5 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=1, rng=rng).fit(x, y)
+        assert len(np.unique(shallow.predict(x))) <= 2
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.normal(size=(20, 1))
+        y = rng.normal(size=20)
+        tree = DecisionTreeRegressor(min_samples_leaf=10, rng=rng).fit(x, y)
+
+        def smallest_leaf(node, x_subset, y_subset):
+            if node.is_leaf:
+                return len(y_subset)
+            go_left = x_subset[:, node.feature] <= node.threshold
+            return min(
+                smallest_leaf(node.left, x_subset[go_left], y_subset[go_left]),
+                smallest_leaf(node.right, x_subset[~go_left], y_subset[~go_left]),
+            )
+
+        assert smallest_leaf(tree._root, x, y) >= 10
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((2, 2)))
+
+    def test_bad_shapes_raise(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(rng=rng).fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_fit_raises(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(rng=rng).fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_reduces_error_vs_mean(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = x[:, 0] * 2 + np.abs(x[:, 1])
+        tree = DecisionTreeRegressor(max_depth=6, rng=rng).fit(x, y)
+        tree_mse = np.mean((tree.predict(x) - y) ** 2)
+        mean_mse = np.var(y)
+        assert tree_mse < 0.3 * mean_mse
+
+
+class TestRandomForest:
+    def test_generalises_on_noise(self, rng):
+        x = rng.normal(size=(400, 3))
+        y = x[:, 0] + 0.5 * rng.normal(size=400)
+        x_test = rng.normal(size=(100, 3))
+        y_test = x_test[:, 0]
+        forest = RandomForestRegressor(n_trees=15, max_depth=6, rng=rng).fit(x, y)
+        mse = np.mean((forest.predict(x_test) - y_test) ** 2)
+        assert mse < np.var(y_test)
+
+    def test_prediction_is_average_of_trees(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = x[:, 0]
+        forest = RandomForestRegressor(n_trees=5, rng=rng).fit(x, y)
+        manual = np.mean([t.predict(x[:5]) for t in forest._trees], axis=0)
+        assert np.allclose(forest.predict(x[:5]), manual)
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((2, 2)))
+
+
+class TestAdaBoost:
+    def test_fits_smooth_function(self, rng):
+        x = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(x[:, 0])
+        model = AdaBoostRegressor(n_estimators=20, max_depth=3, rng=rng).fit(x, y)
+        mse = np.mean((model.predict(x) - y) ** 2)
+        assert mse < 0.1 * np.var(y)
+
+    def test_perfect_fit_stops_early(self, rng):
+        x = np.array([[0.0], [1.0]] * 10)
+        y = x[:, 0] * 2.0
+        model = AdaBoostRegressor(n_estimators=50, rng=rng).fit(x, y)
+        assert len(model._estimators) < 50
+
+    def test_weighted_median_prediction_bounded(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        model = AdaBoostRegressor(n_estimators=10, rng=rng).fit(x, y)
+        predictions = model.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            AdaBoostRegressor(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostRegressor().predict(np.zeros((2, 2)))

@@ -1,0 +1,194 @@
+"""Neural-network layer, module, and loss tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    bce_loss,
+    masked_bce_loss,
+    masked_mse_loss,
+    mlp,
+    mse_loss,
+)
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x])
+
+    def test_repr(self, rng):
+        assert "Linear(3, 2" in repr(Linear(3, 2, rng=rng))
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self, rng):
+        net = Sequential(Linear(2, 3, rng=rng), Linear(3, 1, rng=rng))
+        names = [name for name, _ in net.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_num_parameters(self, rng):
+        net = Linear(4, 3, rng=rng)
+        assert net.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self, rng):
+        net = mlp([3, 5, 2], rng=rng)
+        state = net.state_dict()
+        for param in net.parameters():
+            param.data[...] = 0.0
+        net.load_state_dict(state)
+        for name, param in net.named_parameters():
+            assert np.array_equal(param.data, state[name])
+
+    def test_load_state_dict_missing_key_raises(self, rng):
+        net = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        net = Linear(2, 2, rng=rng)
+        state = net.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), Dropout(0.5, rng=rng))
+        net.eval()
+        assert not net.layers[1].training
+        net.train()
+        assert net.layers[1].training
+
+    def test_zero_grad_clears_all(self, rng):
+        net = Linear(2, 2, rng=rng)
+        out = net(Tensor(rng.normal(size=(3, 2))))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_flat_parameter_roundtrip(self, rng):
+        net = mlp([3, 4, 2], rng=rng)
+        flat = nn.flatten_parameters(net)
+        assert flat.size == net.num_parameters()
+        nn.load_flat_parameters(net, flat * 2.0)
+        assert np.allclose(nn.flatten_parameters(net), flat * 2.0)
+
+    def test_load_flat_wrong_size_raises(self, rng):
+        net = Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            nn.load_flat_parameters(net, np.zeros(3))
+
+    def test_flatten_gradients_zeros_when_no_grad(self, rng):
+        net = Linear(2, 2, rng=rng)
+        grads = nn.flatten_gradients(net)
+        assert np.array_equal(grads, np.zeros(net.num_parameters()))
+
+    def test_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_training_zeroes_roughly_rate(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestMLPFactory:
+    def test_structure(self, rng):
+        net = mlp([4, 8, 8, 2], "relu", "sigmoid", dropout=0.5, rng=rng)
+        out = net(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_too_few_sizes_raises(self):
+        with pytest.raises(ValueError):
+            mlp([4])
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            mlp([4, 2], activation="swish")
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = mse_loss(Tensor([[1.0, 2.0]]), Tensor([[0.0, 0.0]]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_masked_mse_ignores_masked_cells(self):
+        pred = Tensor([[1.0, 100.0]])
+        target = Tensor([[0.0, 0.0]])
+        mask = np.array([[1.0, 0.0]])
+        assert masked_mse_loss(pred, target, mask).item() == pytest.approx(1.0)
+
+    def test_masked_mse_normalises_by_observed_count(self):
+        pred = Tensor(np.ones((2, 2)))
+        target = Tensor(np.zeros((2, 2)))
+        mask = np.array([[1.0, 1.0], [0.0, 0.0]])
+        assert masked_mse_loss(pred, target, mask).item() == pytest.approx(1.0)
+
+    def test_bce_perfect_prediction_near_zero(self):
+        loss = bce_loss(Tensor([0.9999, 0.0001]), Tensor([1.0, 0.0]))
+        assert loss.item() < 1e-3
+
+    def test_bce_gradcheck(self, rng):
+        logits = Tensor(rng.uniform(0.1, 0.9, size=(4,)), requires_grad=True)
+        target = Tensor((rng.random(4) > 0.5).astype(float))
+        check_gradients(lambda p: bce_loss(p, target), [logits])
+
+    def test_masked_bce_matches_bce_with_full_mask(self, rng):
+        p = Tensor(rng.uniform(0.1, 0.9, size=(3, 2)))
+        t = Tensor((rng.random((3, 2)) > 0.5).astype(float))
+        full = np.ones((3, 2))
+        assert masked_bce_loss(p, t, full).item() == pytest.approx(bce_loss(p, t).item())
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        w = nn.init.xavier_uniform(100, 100, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_he_normal_scale(self, rng):
+        w = nn.init.he_normal(1000, 50, rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.15)
+
+    def test_zeros(self, rng):
+        assert not nn.init.zeros(3, 4, rng).any()
+
+
+class TestParameter:
+    def test_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad

@@ -1,0 +1,94 @@
+"""LayerNorm, BatchNorm1d, and DIM early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIM, DimConfig
+from repro.data import holdout_split
+from repro.models import GAINImputer
+from repro.nn import BatchNorm1d, LayerNorm, Linear, Sequential
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self, rng):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng.normal(3.0, 5.0, size=(10, 6)))).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(4)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x], atol=1e-4)
+
+    def test_affine_parameters_learnable(self, rng):
+        layer = LayerNorm(4)
+        assert len(layer.parameters()) == 2
+        x = Tensor(rng.normal(size=(3, 4)))
+        layer(x).sum().backward()
+        assert layer.gain.grad is not None
+
+    def test_stacks_with_linear(self, rng):
+        net = Sequential(Linear(5, 8, rng=rng), LayerNorm(8), Linear(8, 2, rng=rng))
+        out = net(Tensor(rng.normal(size=(4, 5))))
+        assert out.shape == (4, 2)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm1d(3)
+        out = layer(Tensor(rng.normal(2.0, 3.0, size=(200, 3)))).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_converge(self, rng):
+        layer = BatchNorm1d(2, momentum=0.5)
+        data = rng.normal(5.0, 2.0, size=(500, 2))
+        for _ in range(20):
+            layer(Tensor(data))
+        assert np.allclose(layer.running_mean, 5.0, atol=0.5)
+        assert np.allclose(layer.running_var, 4.0, atol=1.0)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        layer = BatchNorm1d(2, momentum=1.0)
+        data = rng.normal(size=(100, 2))
+        layer(Tensor(data))  # sets running stats to batch stats
+        layer.eval()
+        single = layer(Tensor(data[:1])).data
+        assert np.isfinite(single).all()
+
+    def test_gradcheck_training_mode(self, rng):
+        layer = BatchNorm1d(3)
+
+        def f(x):
+            # Freeze running-stat side effects for the finite-difference probe.
+            layer.running_mean = np.zeros(3)
+            layer.running_var = np.ones(3)
+            return layer(x)
+
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        check_gradients(f, [x], atol=1e-4)
+
+
+class TestDimEarlyStopping:
+    def test_stops_before_budget(self, small_incomplete, rng):
+        holdout = holdout_split(small_incomplete, 0.2, rng)
+        config = DimConfig(
+            epochs=60,
+            early_stopping_patience=2,
+            early_stopping_min_delta=1e-3,
+        )
+        report = DIM(config).train(GAINImputer(seed=0), holdout.train, rng)
+        assert report.epochs < 60
+
+    def test_disabled_by_default(self, small_incomplete, rng):
+        holdout = holdout_split(small_incomplete, 0.2, rng)
+        report = DIM(DimConfig(epochs=5)).train(GAINImputer(seed=0), holdout.train, rng)
+        assert report.epochs == 5
+
+    def test_huge_patience_runs_full_budget(self, small_incomplete, rng):
+        holdout = holdout_split(small_incomplete, 0.2, rng)
+        config = DimConfig(epochs=4, early_stopping_patience=100)
+        report = DIM(config).train(GAINImputer(seed=0), holdout.train, rng)
+        assert report.epochs == 4

@@ -1,0 +1,85 @@
+"""Optimizer correctness: descent on quadratics and a regression task."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter, mse_loss
+from repro.optim import SGD, Adam, Optimizer, RMSprop
+from repro.tensor import Tensor
+
+
+def _quadratic_steps(optimizer_factory, steps=200):
+    """Minimise ||theta - target||^2; return the final parameter."""
+    theta = Parameter(np.array([5.0, -3.0]))
+    target = Tensor(np.array([1.0, 2.0]))
+    optimizer = optimizer_factory([theta])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        diff = theta - target
+        (diff * diff).sum().backward()
+        optimizer.step()
+    return theta.data
+
+
+class TestDescent:
+    def test_sgd_converges(self):
+        final = _quadratic_steps(lambda p: SGD(p, lr=0.1))
+        assert np.allclose(final, [1.0, 2.0], atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        final = _quadratic_steps(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert np.allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_adam_converges(self):
+        final = _quadratic_steps(lambda p: Adam(p, lr=0.1), steps=400)
+        assert np.allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_rmsprop_converges(self):
+        final = _quadratic_steps(lambda p: RMSprop(p, lr=0.05), steps=400)
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        no_decay = _quadratic_steps(lambda p: SGD(p, lr=0.1))
+        decayed = _quadratic_steps(lambda p: SGD(p, lr=0.1, weight_decay=1.0))
+        assert np.linalg.norm(decayed) < np.linalg.norm(no_decay)
+
+    def test_adam_weight_decay(self):
+        decayed = _quadratic_steps(lambda p: Adam(p, lr=0.1, weight_decay=1.0), steps=400)
+        assert np.linalg.norm(decayed) < np.linalg.norm([1.0, 2.0])
+
+
+class TestRegressionFit:
+    def test_linear_layer_fits_least_squares(self, rng):
+        x = rng.normal(size=(200, 3))
+        w_true = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ w_true + 0.3
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(layer.weight.data, w_true, atol=0.05)
+        assert layer.bias.data[0] == pytest.approx(0.3, abs=0.05)
+
+
+class TestValidation:
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_positive_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_base_step_not_implemented(self):
+        opt = Optimizer([Parameter(np.zeros(2))], lr=0.1)
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+    def test_step_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad accumulated; must not crash or move
+        assert p.data[0] == 1.0

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import IncompleteDataset, MinMaxNormalizer
+from repro.models import MeanImputer, impute_equation
+from repro.ot import sinkhorn, squared_euclidean_cost
+from repro.tensor import Tensor, ops
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def matrices(min_rows=2, max_rows=8, min_cols=1, max_cols=5, elements=finite_floats):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=elements)
+        )
+    )
+
+
+class TestAutodiffProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.sum().backward()
+        assert np.array_equal(t.grad, np.ones_like(data))
+
+    @given(matrices(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_multiply_scales_gradient(self, data, scale):
+        t = Tensor(data, requires_grad=True)
+        (t * scale).sum().backward()
+        assert np.allclose(t.grad, np.full_like(data, scale))
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_output_nonnegative(self, data):
+        assert (ops.relu(Tensor(data)).data >= 0).all()
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_in_unit_interval(self, data):
+        out = ops.sigmoid(Tensor(data)).data
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_add_commutes(self, data):
+        a = Tensor(data)
+        b = Tensor(data[::-1].copy())
+        assert np.allclose((a + b).data, (b + a).data)
+
+
+class TestOTProperties:
+    @given(matrices(min_rows=2, max_rows=6, min_cols=1, max_cols=3))
+    @settings(max_examples=15, deadline=None)
+    def test_sinkhorn_plan_marginals(self, data):
+        cost = squared_euclidean_cost(data, data + 1.0)
+        result = sinkhorn(cost / max(cost.max(), 1.0), reg=0.5, max_iter=2000)
+        n = data.shape[0]
+        assert np.allclose(result.plan.sum(axis=1), 1.0 / n, atol=1e-6)
+        assert np.allclose(result.plan.sum(axis=0), 1.0 / n, atol=1e-6)
+        assert (result.plan >= 0).all()
+
+    @given(matrices(min_rows=2, max_rows=6, min_cols=1, max_cols=3))
+    @settings(max_examples=15, deadline=None)
+    def test_cost_matrix_nonnegative_symmetric_on_self(self, data):
+        cost = squared_euclidean_cost(data, data)
+        assert (cost >= 0).all()
+        assert np.allclose(cost, cost.T, atol=1e-9)
+        assert np.allclose(np.diag(cost), 0.0, atol=1e-9)
+
+
+class TestDataProperties:
+    @given(matrices(min_rows=2, max_rows=10), st.floats(0.0, 0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_mask_complements_nan(self, data, rate):
+        rng = np.random.default_rng(0)
+        values = data.copy()
+        values[rng.random(values.shape) < rate] = np.nan
+        ds = IncompleteDataset(values)
+        assert np.array_equal(ds.mask == 0.0, np.isnan(ds.values))
+
+    @given(matrices(min_rows=3, max_rows=10))
+    @settings(max_examples=25, deadline=None)
+    def test_normalizer_roundtrip(self, data):
+        ds = IncompleteDataset(data)
+        norm = MinMaxNormalizer()
+        transformed = norm.fit_transform(ds)
+        back = norm.inverse_transform(transformed.values)
+        assert np.allclose(back, data, atol=1e-8)
+
+    @given(matrices(min_rows=2, max_rows=8))
+    @settings(max_examples=25, deadline=None)
+    def test_impute_equation_idempotent_on_complete(self, data):
+        ds = IncompleteDataset(data)
+        out = impute_equation(ds.values, ds.mask, np.zeros_like(data))
+        assert np.allclose(out, data)
+
+    @given(matrices(min_rows=3, max_rows=10), st.floats(0.1, 0.6))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_imputer_preserves_observed(self, data, rate):
+        rng = np.random.default_rng(1)
+        values = data.copy()
+        drop = rng.random(values.shape) < rate
+        if drop.all(axis=0).any():  # keep at least one observation per column
+            drop[0] = False
+        values[drop] = np.nan
+        ds = IncompleteDataset(values)
+        imputed = MeanImputer().fit_transform(ds)
+        observed = ds.mask == 1.0
+        assert np.allclose(imputed[observed], data[observed])
+        assert not np.isnan(imputed).any()

@@ -1,0 +1,101 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineAnnealing,
+    ExponentialDecay,
+    LinearWarmup,
+    Scheduler,
+    StepDecay,
+)
+
+
+def _optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepDecay:
+    def test_decays_at_period(self):
+        scheduler = StepDecay(_optimizer(), period=3, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(7)]
+        assert lrs[:2] == [1.0, 1.0]
+        assert lrs[2] == pytest.approx(0.5)
+        assert lrs[5] == pytest.approx(0.25)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepDecay(_optimizer(), period=0)
+        with pytest.raises(ValueError):
+            StepDecay(_optimizer(), period=2, gamma=0.0)
+
+
+class TestExponentialDecay:
+    def test_geometric_sequence(self):
+        scheduler = ExponentialDecay(_optimizer(), gamma=0.9)
+        lrs = [scheduler.step() for _ in range(3)]
+        assert lrs == pytest.approx([0.9, 0.81, 0.729])
+
+    def test_gamma_one_is_constant(self):
+        scheduler = ExponentialDecay(_optimizer(), gamma=1.0)
+        assert scheduler.step() == 1.0
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        scheduler = CosineAnnealing(_optimizer(), period=10, minimum_lr=0.1)
+        first = scheduler.step()
+        for _ in range(9):
+            last = scheduler.step()
+        assert first < 1.0
+        assert last == pytest.approx(0.1)
+
+    def test_holds_minimum_after_period(self):
+        scheduler = CosineAnnealing(_optimizer(), period=2, minimum_lr=0.05)
+        for _ in range(5):
+            lr = scheduler.step()
+        assert lr == pytest.approx(0.05)
+
+    def test_monotone_decreasing(self):
+        scheduler = CosineAnnealing(_optimizer(), period=20)
+        lrs = [scheduler.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestLinearWarmup:
+    def test_ramps_then_holds(self):
+        scheduler = LinearWarmup(_optimizer(), warmup=4)
+        lrs = [scheduler.step() for _ in range(6)]
+        assert lrs[:4] == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert lrs[4:] == [1.0, 1.0]
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(_optimizer(), warmup=0)
+
+
+class TestSchedulerIntegration:
+    def test_mutates_optimizer_lr(self):
+        optimizer = _optimizer()
+        scheduler = ExponentialDecay(optimizer, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_base_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Scheduler(_optimizer()).step()
+
+    def test_works_with_adam_training(self, rng):
+        param = Parameter(np.array([4.0]))
+        optimizer = Adam([param], lr=0.2)
+        scheduler = CosineAnnealing(optimizer, period=100, minimum_lr=1e-4)
+        for _ in range(100):
+            optimizer.zero_grad()
+            (param * param).backward()
+            optimizer.step()
+            scheduler.step()
+        assert abs(param.data[0]) < 0.2

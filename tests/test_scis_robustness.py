@@ -1,0 +1,122 @@
+"""Robustness and invariants of the full SCIS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCIS, DimConfig, ScisConfig
+from repro.data import IncompleteDataset, ampute, holdout_split
+from repro.models import GAINImputer
+
+
+def _quick_config(**overrides):
+    base = dict(
+        initial_size=60,
+        validation_size=60,
+        error_bound=0.05,
+        dim=DimConfig(epochs=4),
+        seed=0,
+    )
+    base.update(overrides)
+    return ScisConfig(**base)
+
+
+class TestOutputInvariants:
+    def test_imputed_values_in_unit_cube(self, small_incomplete):
+        """GAIN's sigmoid output keeps imputations inside the data range."""
+        result = SCIS(GAINImputer(epochs=4, seed=0), _quick_config()).fit_transform(
+            small_incomplete
+        )
+        missing = small_incomplete.mask == 0.0
+        assert result.imputed[missing].min() >= 0.0
+        assert result.imputed[missing].max() <= 1.0
+
+    def test_no_nan_anywhere(self, small_incomplete):
+        result = SCIS(GAINImputer(epochs=4, seed=0), _quick_config()).fit_transform(
+            small_incomplete
+        )
+        assert np.isfinite(result.imputed).all()
+
+    def test_sample_rate_consistent_with_n_star(self, small_incomplete):
+        result = SCIS(GAINImputer(epochs=4, seed=0), _quick_config()).fit_transform(
+            small_incomplete
+        )
+        assert result.sample_rate == pytest.approx(result.n_star / result.n_total)
+
+
+class TestExtremeMissingness:
+    @pytest.mark.parametrize("rate", [0.05, 0.85])
+    def test_survives_extreme_rates(self, rng, rate):
+        latent = rng.normal(size=(400, 2))
+        full = 1 / (1 + np.exp(-(latent @ rng.normal(size=(2, 5)))))
+        ds = ampute(IncompleteDataset(full), rate, "mcar", rng)
+        result = SCIS(GAINImputer(epochs=4, seed=0), _quick_config()).fit_transform(ds)
+        assert np.isfinite(result.imputed).all()
+
+    def test_column_fully_missing(self, rng):
+        values = rng.random((300, 4))
+        values[:, 2] = np.nan
+        ds = IncompleteDataset(values)
+        result = SCIS(GAINImputer(epochs=3, seed=0), _quick_config()).fit_transform(ds)
+        assert np.isfinite(result.imputed[:, 2]).all()
+
+    def test_rows_fully_missing(self, rng):
+        values = rng.random((300, 4))
+        values[:5, :] = np.nan
+        ds = IncompleteDataset(values)
+        result = SCIS(GAINImputer(epochs=3, seed=0), _quick_config()).fit_transform(ds)
+        assert np.isfinite(result.imputed[:5]).all()
+
+
+class TestConfigurationEdges:
+    def test_minimum_viable_sizes(self, rng):
+        ds = IncompleteDataset(
+            np.where(rng.random((50, 3)) < 0.8, rng.random((50, 3)), np.nan)
+        )
+        config = _quick_config(initial_size=10, validation_size=10)
+        result = SCIS(GAINImputer(epochs=2, seed=0), config).fit_transform(ds)
+        assert 10 <= result.n_star <= 50
+
+    def test_n_star_equal_to_total_retrains_on_full(self, small_incomplete):
+        config = _quick_config(error_bound=1e-12, dim=DimConfig(epochs=2))
+        result = SCIS(GAINImputer(epochs=2, seed=0), config).fit_transform(
+            small_incomplete
+        )
+        assert result.n_star == small_incomplete.n_samples
+        assert result.retrain_report is not None
+
+    def test_different_seeds_give_different_models(self, small_incomplete):
+        result_a = SCIS(
+            GAINImputer(epochs=3, seed=1), _quick_config(seed=1)
+        ).fit_transform(small_incomplete)
+        result_b = SCIS(
+            GAINImputer(epochs=3, seed=2), _quick_config(seed=2)
+        ).fit_transform(small_incomplete)
+        missing = small_incomplete.mask == 0.0
+        assert not np.allclose(result_a.imputed[missing], result_b.imputed[missing])
+
+    def test_scaled_data_outside_unit_range_still_runs(self, rng):
+        """SCIS expects [0,1] inputs but must not crash outside them."""
+        values = rng.normal(0.0, 10.0, size=(300, 4))
+        values[rng.random(values.shape) < 0.3] = np.nan
+        ds = IncompleteDataset(values)
+        result = SCIS(GAINImputer(epochs=2, seed=0), _quick_config()).fit_transform(ds)
+        assert np.isfinite(result.imputed).all()
+
+
+class TestAccuracyUnderBudget:
+    def test_scis_close_to_full_training_on_learnable_data(self, rng):
+        latent = rng.normal(size=(1200, 3))
+        full = 1 / (1 + np.exp(-(latent @ rng.normal(size=(3, 6)))))
+        ds = ampute(IncompleteDataset(full), 0.3, "mcar", rng)
+        holdout = holdout_split(ds, 0.2, rng)
+
+        config = _quick_config(
+            initial_size=120, validation_size=120, error_bound=0.02,
+            dim=DimConfig(epochs=20),
+        )
+        scis_result = SCIS(GAINImputer(epochs=20, seed=0), config).fit_transform(
+            holdout.train
+        )
+        full_gain = GAINImputer(epochs=20, seed=0)
+        gain_rmse = holdout.rmse(full_gain.fit_transform(holdout.train))
+        assert holdout.rmse(scis_result.imputed) < gain_rmse * 1.25

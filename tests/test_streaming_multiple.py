@@ -1,0 +1,194 @@
+"""Out-of-core streaming and multiple imputation."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import DimConfig, ScisConfig
+from repro.data import (
+    CsvRowStream,
+    IncompleteDataset,
+    generate,
+    impute_csv_streaming,
+    read_csv,
+    reservoir_sample,
+    write_csv,
+)
+from repro.metrics import multiple_impute, pool_estimates, pooled_statistic
+from repro.models import GAINImputer
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    generated = generate("trial", n_samples=600, seed=0)
+    path = tmp_path / "stream.csv"
+    write_csv(generated.dataset, path)
+    return path, generated.dataset
+
+
+class TestCsvRowStream:
+    def test_chunks_cover_all_rows(self, csv_file):
+        path, dataset = csv_file
+        stream = CsvRowStream(path, chunk_size=64)
+        total = sum(values.shape[0] for values, _ in stream.chunks())
+        assert total == dataset.n_samples
+
+    def test_chunk_size_respected(self, csv_file):
+        path, dataset = csv_file
+        sizes = [v.shape[0] for v, _ in CsvRowStream(path, chunk_size=100).chunks()]
+        assert all(size == 100 for size in sizes[:-1])
+        assert sizes[-1] == dataset.n_samples % 100 or sizes[-1] == 100
+
+    def test_values_match_full_read(self, csv_file):
+        path, dataset = csv_file
+        stream = CsvRowStream(path, chunk_size=97)
+        streamed = np.vstack([values for values, _ in stream.chunks()])
+        assert np.allclose(
+            np.nan_to_num(streamed), np.nan_to_num(dataset.values), atol=1e-9
+        )
+
+    def test_mask_matches_nan(self, csv_file):
+        path, _ = csv_file
+        for values, mask in CsvRowStream(path, chunk_size=50).chunks():
+            assert np.array_equal(mask == 0.0, np.isnan(values))
+
+    def test_count_rows(self, csv_file):
+        path, dataset = csv_file
+        assert CsvRowStream(path).count_rows() == dataset.n_samples
+
+    def test_observed_ranges(self, csv_file):
+        path, dataset = csv_file
+        minima, maxima = CsvRowStream(path).observed_ranges()
+        with np.errstate(invalid="ignore"):
+            assert np.allclose(minima, np.nanmin(dataset.values, axis=0), atol=1e-9)
+            assert np.allclose(maxima, np.nanmax(dataset.values, axis=0), atol=1e-9)
+
+    def test_restartable(self, csv_file):
+        path, _ = csv_file
+        stream = CsvRowStream(path, chunk_size=128)
+        first = sum(v.shape[0] for v, _ in stream.chunks())
+        second = sum(v.shape[0] for v, _ in stream.chunks())
+        assert first == second
+
+    def test_ragged_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3,4,5\n")
+        with pytest.raises(ValueError):
+            list(CsvRowStream(path).chunks())
+
+    def test_invalid_chunk_size(self, csv_file):
+        with pytest.raises(ValueError):
+            CsvRowStream(csv_file[0], chunk_size=0)
+
+    def test_empty_file_ranges_raise(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError):
+            CsvRowStream(path).observed_ranges()
+
+
+class TestReservoirSample:
+    def test_size_and_membership(self, csv_file, rng):
+        path, dataset = csv_file
+        sample = reservoir_sample(CsvRowStream(path, chunk_size=64), 50, rng)
+        assert sample.shape == (50, dataset.n_features)
+
+    def test_approximately_uniform(self, tmp_path, rng):
+        # Rows are 0..999; the sample mean of row ids should be ~499.5.
+        path = tmp_path / "ids.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id"])
+            for i in range(1000):
+                writer.writerow([i])
+        sample = reservoir_sample(CsvRowStream(path, chunk_size=128), 300, rng)
+        assert sample.mean() == pytest.approx(499.5, abs=60)
+
+    def test_too_few_rows_raises(self, csv_file, rng):
+        path, _ = csv_file
+        with pytest.raises(ValueError):
+            reservoir_sample(CsvRowStream(path), 10_000, rng)
+
+    def test_invalid_size(self, csv_file, rng):
+        with pytest.raises(ValueError):
+            reservoir_sample(CsvRowStream(csv_file[0]), 0, rng)
+
+
+class TestStreamingImputation:
+    def test_end_to_end(self, csv_file, tmp_path):
+        path, dataset = csv_file
+        out = tmp_path / "imputed.csv"
+        config = ScisConfig(
+            initial_size=60,
+            validation_size=60,
+            error_bound=0.05,
+            dim=DimConfig(epochs=5),
+            seed=0,
+        )
+        report = impute_csv_streaming(
+            path, out, GAINImputer(epochs=5, seed=0), config, chunk_size=128
+        )
+        assert report.rows == dataset.n_samples
+        assert 0 < report.sample_rate <= 1.0
+        imputed = read_csv(out)
+        assert imputed.shape == dataset.shape
+        assert not np.isnan(imputed.values).any()
+        # Observed cells survive the normalise/denormalise round trip.
+        observed = dataset.mask == 1.0
+        assert np.allclose(
+            imputed.values[observed], dataset.values[observed], atol=1e-6
+        )
+
+
+class TestMultipleImputation:
+    @pytest.fixture
+    def trained(self, small_incomplete):
+        model = GAINImputer(epochs=5, seed=0)
+        model.fit(small_incomplete)
+        return model, small_incomplete
+
+    def test_observed_identical_missing_vary(self, trained):
+        model, dataset = trained
+        draws = multiple_impute(model, dataset, m=3, seed=0)
+        assert len(draws) == 3
+        observed = dataset.mask == 1.0
+        missing = ~observed.astype(bool)
+        assert np.allclose(draws[0][observed], draws[1][observed])
+        assert not np.allclose(draws[0][missing], draws[1][missing])
+
+    def test_invalid_m(self, trained):
+        model, dataset = trained
+        with pytest.raises(ValueError):
+            multiple_impute(model, dataset, m=0)
+
+    def test_pool_estimates_hand_computed(self):
+        pooled = pool_estimates([1.0, 2.0, 3.0], variances=[0.1, 0.1, 0.1])
+        assert pooled.estimate == pytest.approx(2.0)
+        assert pooled.within_variance == pytest.approx(0.1)
+        assert pooled.between_variance == pytest.approx(1.0)
+        assert pooled.total_variance == pytest.approx(0.1 + (1 + 1 / 3) * 1.0)
+        low, high = pooled.confidence_interval()
+        assert low < 2.0 < high
+
+    def test_pool_without_within_variance(self):
+        pooled = pool_estimates([1.0, 1.2])
+        assert pooled.within_variance == 0.0
+        assert pooled.total_variance > 0.0
+
+    def test_pool_needs_two(self):
+        with pytest.raises(ValueError):
+            pool_estimates([1.0])
+
+    def test_pool_variance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pool_estimates([1.0, 2.0], variances=[0.1])
+
+    def test_pooled_statistic(self, trained):
+        model, dataset = trained
+        pooled = pooled_statistic(
+            model, dataset, statistic=lambda imputed: float(imputed.mean()), m=3
+        )
+        assert pooled.m == 3
+        assert np.isfinite(pooled.estimate)
+        assert pooled.standard_error >= 0.0

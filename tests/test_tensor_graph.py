@@ -1,0 +1,137 @@
+"""Autodiff graph mechanics: accumulation, reuse, no_grad, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, as_tensor, no_grad, ops, set_grad_enabled
+from repro.tensor.gradcheck import numerical_gradient
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_seeds_ones(self):
+        a = Tensor(3.0, requires_grad=True)
+        (a * a).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * 3.0).backward()
+        (a * 3.0).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_zero_grad_resets(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * 3.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_tensor_reused_twice_in_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * a + a  # df/da = 2a + 1
+        out.sum().backward()
+        assert np.allclose(a.grad, 2 * a.data + 1)
+
+    def test_diamond_graph(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = a * 3.0
+        c = a * 4.0
+        (b + c).backward()
+        assert a.grad == pytest.approx(7.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor(1.0, requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1e-6
+        out.backward()
+        assert a.grad == pytest.approx(1.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_seed_gradient_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward(np.ones(3))
+
+    def test_explicit_seed_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 20.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # constant
+        (a * b).backward()
+        assert b.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        a = Tensor([1.0], requires_grad=True)
+        assert (a * 2.0).requires_grad
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            a = Tensor([1.0], requires_grad=True)
+            assert not (a * 2.0).requires_grad
+
+    def test_set_grad_enabled(self):
+        set_grad_enabled(False)
+        try:
+            a = Tensor([1.0], requires_grad=True)
+            assert not a.requires_grad
+        finally:
+            set_grad_enabled(True)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * 3.0).detach()
+        assert not b.requires_grad
+        assert np.allclose(b.data, [6.0])
+
+
+class TestTensorBasics:
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_as_tensor_from_list(self):
+        t = as_tensor([1, 2, 3])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_shape_ndim_size_len(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert len(t) == 3
+
+    def test_item_and_numpy(self):
+        t = Tensor(5.0)
+        assert t.item() == 5.0
+        assert isinstance(t.numpy(), np.ndarray)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+
+class TestNumericalGradient:
+    def test_matches_analytic_for_quadratic(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        numeric = numerical_gradient(lambda a: (a * a).sum(), [a], 0)
+        assert np.allclose(numeric, 2 * a.data, atol=1e-5)

@@ -1,0 +1,224 @@
+"""Gradient checks and semantics for every autodiff op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, ops
+
+
+def _t(rng, *shape, positive=False):
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestBinaryOps:
+    def test_add_gradcheck(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_sub_gradcheck(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda a, b: a - b, [a, b])
+
+    def test_mul_gradcheck(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        b = _t(rng, 3, 4, positive=True)
+        check_gradients(lambda a, b: a / b, [a, b])
+
+    def test_broadcast_row_vector(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda a, b: a + b, [a, b])
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_broadcast_column_vector(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 1)
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_broadcast_scalar_constant(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: 2.5 * a + 1.0 - a / 2.0, [a])
+
+    def test_rsub_rdiv(self, rng):
+        a = _t(rng, 3, positive=True)
+        check_gradients(lambda a: 1.0 - a, [a])
+        check_gradients(lambda a: 1.0 / a, [a])
+
+    def test_pow_gradcheck(self, rng):
+        a = _t(rng, 3, 4, positive=True)
+        check_gradients(lambda a: a**3, [a])
+        check_gradients(lambda a: a**0.5, [a])
+
+    def test_neg(self, rng):
+        a = _t(rng, 5)
+        check_gradients(lambda a: -a, [a])
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 5)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_vector_matrix(self, rng):
+        v, m = _t(rng, 4), _t(rng, 4, 2)
+        check_gradients(lambda v, m: v @ m, [v, m])
+
+    def test_matrix_vector(self, rng):
+        m, v = _t(rng, 2, 4), _t(rng, 4)
+        check_gradients(lambda m, v: m @ v, [m, v])
+
+    def test_inner_product(self, rng):
+        u, v = _t(rng, 4), _t(rng, 4)
+        check_gradients(lambda u, v: u @ v, [u, v])
+
+    def test_value_matches_numpy(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 5)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op",
+        [ops.exp, ops.tanh, ops.sigmoid, ops.softplus, ops.relu, ops.leaky_relu, ops.abs],
+    )
+    def test_gradcheck(self, rng, op):
+        a = Tensor(rng.normal(size=(4, 3)) + 0.05, requires_grad=True)
+        check_gradients(lambda a: op(a), [a])
+
+    def test_log_gradcheck(self, rng):
+        a = _t(rng, 4, 3, positive=True)
+        check_gradients(lambda a: ops.log(a), [a])
+
+    def test_sqrt_gradcheck(self, rng):
+        a = _t(rng, 4, 3, positive=True)
+        check_gradients(lambda a: ops.sqrt(a), [a])
+
+    def test_sigmoid_range(self, rng):
+        a = _t(rng, 10)
+        out = ops.sigmoid(a).data
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_relu_zeroes_negatives(self):
+        out = ops.relu(Tensor([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out.data, [0.0, 0.0, 2.0])
+
+    def test_softplus_stable_at_extremes(self):
+        out = ops.softplus(Tensor([-1000.0, 0.0, 1000.0]))
+        assert np.isfinite(out.data).all()
+        assert out.data[2] == pytest.approx(1000.0)
+
+    def test_clip_gradient_masked(self, rng):
+        a = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        ops.clip(a, -1.0, 1.0).sum().backward()
+        assert np.array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = _t(rng, 5, 7)
+        out = ops.softmax(a, axis=1).data
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        weights = Tensor(rng.normal(size=(4,)))
+        check_gradients(lambda a: ops.softmax(a, axis=1) @ weights, [a])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = _t(rng, 3, 4)
+        assert np.allclose(
+            ops.log_softmax(a, axis=1).data, np.log(ops.softmax(a, axis=1).data)
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: ops.log_softmax(a, axis=-1).mean(), [a])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_sum_gradcheck(self, rng, axis, keepdims):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: a.sum(axis=axis, keepdims=keepdims), [a])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean_gradcheck(self, rng, axis):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: a.mean(axis=axis), [a])
+
+    def test_mean_value(self, rng):
+        a = _t(rng, 3, 4)
+        assert a.mean().item() == pytest.approx(a.data.mean())
+
+    def test_max_gradcheck(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda a: ops.max(a, axis=0), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        ops.max(a).backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_sum_tuple_axis(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda a: a.sum(axis=(0, 2)), [a])
+
+
+class TestShapeOps:
+    def test_reshape_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: a.reshape(2, 6), [a])
+        check_gradients(lambda a: a.reshape(-1), [a])
+
+    def test_transpose_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda a: a.T, [a])
+
+    def test_transpose_axes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda a: a.transpose((2, 0, 1)), [a])
+
+    def test_concat_gradcheck(self, rng):
+        a, b = _t(rng, 3, 2), _t(rng, 3, 4)
+        check_gradients(lambda a, b: ops.concat([a, b], axis=1), [a, b])
+
+    def test_concat_axis0(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        check_gradients(lambda a, b: ops.concat([a, b], axis=0), [a, b])
+
+    def test_getitem_slice(self, rng):
+        a = _t(rng, 5, 4)
+        check_gradients(lambda a: a[1:4, :2], [a])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        assert np.array_equal(a.grad, [2.0, 0.0, 1.0])
+
+    def test_where_gradcheck(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        condition = rng.random((3, 4)) > 0.5
+        check_gradients(lambda a, b: ops.where(condition, a, b), [a, b])
+
+
+class TestDropoutMask:
+    def test_zero_rate_is_identity(self, rng):
+        mask = ops.dropout_mask((100, 10), 0.0, rng)
+        assert np.array_equal(mask, np.ones((100, 10)))
+
+    def test_mean_preserving(self, rng):
+        mask = ops.dropout_mask((2000, 50), 0.5, rng)
+        assert mask.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            ops.dropout_mask((2, 2), 1.0, rng)
+        with pytest.raises(ValueError):
+            ops.dropout_mask((2, 2), -0.1, rng)
