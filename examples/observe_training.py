@@ -1,0 +1,62 @@
+"""Inspect a DIM training run with the repro.obs observability layer.
+
+Captures a full telemetry trace of a DIM training loop — per-epoch
+MS-divergence and adversarial losses, per-solve Sinkhorn iteration counts
+and marginal violations, Adam step timings, span durations — then exports
+it to JSON and plots divergence-vs-epoch in the terminal.
+
+Run:  python examples/observe_training.py
+
+Inspect the exported trace afterwards without writing code:
+
+    repro obs summarize dim_trace.json
+    repro obs dump dim_trace.json --event dim.epoch
+"""
+
+import numpy as np
+
+from repro import DIM, DimConfig, GAINImputer
+from repro.bench import ascii_chart
+from repro.data import MinMaxNormalizer, generate
+from repro.obs import recording, summarize_trace, write_json_trace
+
+
+def main() -> None:
+    # 1. A synthetic COVID-like table, min-max normalised (the paper's
+    #    protocol; swap in `repro.data.read_csv` for your own CSV).
+    dataset = MinMaxNormalizer().fit_transform(
+        generate("trial", n_samples=400, seed=0).dataset
+    )
+
+    # 2. Train under the MS-divergence with a recorder attached.  Every
+    #    instrumented layer (Sinkhorn solver, Adam, the GAIN adversarial
+    #    game, the DIM loop itself) emits into `rec`; with no recorder
+    #    attached the same code runs telemetry-free.
+    model = GAINImputer(seed=0)
+    with recording() as rec:
+        report = DIM(DimConfig(epochs=8, batch_size=64)).train(
+            model, dataset, np.random.default_rng(0)
+        )
+    print(f"trained {report.epochs} epochs / {report.steps} steps "
+          f"in {report.seconds:.2f}s\n")
+
+    # 3. Export (JSON round-trips losslessly; `repro obs` reads this file)
+    #    and print the human summary.
+    write_json_trace(rec, "dim_trace.json")
+    print(summarize_trace(rec))
+
+    # 4. The paper's Example 1 claim, observable: the MS divergence
+    #    decreases smoothly with training instead of oscillating.
+    epochs = [e for e in rec.events if e.name == "dim.epoch"]
+    print()
+    print(
+        ascii_chart(
+            [e.fields["epoch"] for e in epochs],
+            {"MS divergence": [e.fields["ms_divergence"] for e in epochs]},
+            title="DIM convergence",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

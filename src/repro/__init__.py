@@ -24,8 +24,10 @@ Subpackages
 ``repro.core``     SCIS itself: DIM + SSE + Algorithm 1
 ``repro.metrics``  masked RMSE/MAE, AUC, post-imputation prediction
 ``repro.bench``    the harness behind every reproduced table and figure
+``repro.obs``      training observability: metrics, spans, trace export
 """
 
+from . import obs
 from .core import DIM, SCIS, SSE, DimConfig, ScisConfig, ScisResult, SseConfig
 from .data import IncompleteDataset, MinMaxNormalizer
 from .models import GAINImputer, GINNImputer, make_imputer
@@ -45,5 +47,6 @@ __all__ = [
     "make_imputer",
     "IncompleteDataset",
     "MinMaxNormalizer",
+    "obs",
     "__version__",
 ]

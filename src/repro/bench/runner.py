@@ -19,6 +19,7 @@ from ..core import SCIS
 from ..core.dim import DimImputer
 from ..data import HoldoutSplit, IncompleteDataset, MinMaxNormalizer, generate, holdout_split
 from ..models.base import Imputer
+from ..obs import get_recorder, trace
 
 __all__ = ["MethodResult", "BenchCase", "prepare_case", "run_method", "run_comparison"]
 
@@ -97,38 +98,51 @@ def run_method(
     times: List[float] = []
     rates: List[float] = []
     name = method_name or "method"
+    recorder = get_recorder()
     for seed in range(n_seeds):
         runner = factory(seed)
         start = time.perf_counter()
-        if isinstance(runner, SCIS):
-            result = runner.fit_transform(case.train)
-            imputed = result.imputed
-            rates.append(result.sample_rate)
-            if method_name is None:
-                name = f"scis-{runner.model.name}"
-        elif isinstance(runner, DimImputer):
-            imputed = runner.fit_transform(case.train)
-            rates.append(runner.sample_rate)
-            if method_name is None:
-                name = runner.name
-        elif isinstance(runner, Imputer):
-            imputed = runner.fit_transform(case.train)
-            rates.append(1.0)
-            if method_name is None:
-                name = runner.name
-        else:
-            raise TypeError(f"factory returned unsupported runner {type(runner)!r}")
+        with trace("bench.run", method=name, dataset=case.name, seed=seed):
+            if isinstance(runner, SCIS):
+                result = runner.fit_transform(case.train)
+                imputed = result.imputed
+                rates.append(result.sample_rate)
+                if method_name is None:
+                    name = f"scis-{runner.model.name}"
+            elif isinstance(runner, DimImputer):
+                imputed = runner.fit_transform(case.train)
+                rates.append(runner.sample_rate)
+                if method_name is None:
+                    name = runner.name
+            elif isinstance(runner, Imputer):
+                imputed = runner.fit_transform(case.train)
+                rates.append(1.0)
+                if method_name is None:
+                    name = runner.name
+            else:
+                raise TypeError(
+                    f"factory returned unsupported runner {type(runner)!r}"
+                )
         elapsed = time.perf_counter() - start
         rmses.append(case.holdout.rmse(imputed))
         times.append(elapsed)
         if time_budget is not None and elapsed > time_budget:
+            if recorder.enabled:
+                recorder.inc("bench.timeouts")
+                recorder.emit(
+                    "bench.result",
+                    method=name,
+                    dataset=case.name,
+                    timed_out=True,
+                    seconds=elapsed,
+                )
             return MethodResult(
                 method=name,
                 dataset=case.name,
                 timed_out=True,
                 seconds=elapsed,
             )
-    return MethodResult(
+    aggregated = MethodResult(
         method=name,
         dataset=case.name,
         rmse_mean=float(np.mean(rmses)),
@@ -136,6 +150,19 @@ def run_method(
         seconds=float(np.mean(times)),
         sample_rate=float(np.mean(rates)),
     )
+    if recorder.enabled:
+        recorder.inc("bench.runs")
+        recorder.emit(
+            "bench.result",
+            method=name,
+            dataset=case.name,
+            rmse_mean=aggregated.rmse_mean,
+            rmse_std=aggregated.rmse_std,
+            seconds=aggregated.seconds,
+            sample_rate=aggregated.sample_rate,
+            timed_out=False,
+        )
+    return aggregated
 
 
 def run_comparison(

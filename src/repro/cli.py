@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the everyday workflows:
+Four subcommands cover the everyday workflows:
 
 ``repro impute``
     Impute a CSV with any registered method (or SCIS on top of a GAN
@@ -12,6 +12,10 @@ Three subcommands cover the everyday workflows:
 ``repro evaluate``
     Hold out observed cells from a CSV, impute, and report RMSE/MAE —
     the paper's §VI protocol on your own data.
+
+``repro obs``
+    Summarize or dump a telemetry trace captured with ``--trace`` (on
+    ``impute``/``evaluate``) or with :func:`repro.obs.recording`.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -37,6 +41,13 @@ from .data import (
 )
 from .models import GenerativeImputer, make_imputer
 from .models.registry import REGISTRY
+from .obs import (
+    events_to_csv,
+    load_trace,
+    recording,
+    summarize_trace,
+    write_json_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     impute.add_argument("--initial-size", type=int, default=500, help="SCIS n0")
     impute.add_argument("--error-bound", type=float, default=0.02, help="SCIS epsilon")
     impute.add_argument("--seed", type=int, default=0)
+    impute.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record training telemetry and write a JSON trace to PATH",
+    )
 
     datagen = sub.add_parser("datagen", help="generate a synthetic COVID-like CSV")
     datagen.add_argument("name", choices=["trial", "emergency", "response", "search", "weather", "surveil"])
@@ -83,6 +100,29 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--initial-size", type=int, default=500)
     evaluate.add_argument("--error-bound", type=float, default=0.02)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record training telemetry and write a JSON trace to PATH",
+    )
+
+    obs = sub.add_parser("obs", help="inspect a telemetry trace (JSON)")
+    obs.add_argument("action", choices=["summarize", "dump"])
+    obs.add_argument("trace", help="trace JSON written by --trace or write_json_trace")
+    obs.add_argument(
+        "--format",
+        dest="fmt",
+        default="csv",
+        choices=["csv", "json"],
+        help="dump format (default: csv)",
+    )
+    obs.add_argument(
+        "--event",
+        default="",
+        help="restrict dump to one event name (e.g. dim.epoch)",
+    )
+    obs.add_argument("--output", default=None, help="write to file instead of stdout")
     return parser
 
 
@@ -124,7 +164,13 @@ def _cmd_impute(args) -> int:
     normalized = normalizer.fit_transform(dataset)
     runner = _make_runner(args)
     start = time.perf_counter()
-    imputed, sample_rate = _impute(runner, normalized)
+    if args.trace is not None:
+        with recording() as rec:
+            imputed, sample_rate = _impute(runner, normalized)
+        write_json_trace(rec, args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    else:
+        imputed, sample_rate = _impute(runner, normalized)
     elapsed = time.perf_counter() - start
     restored = normalizer.inverse_transform(imputed)
     out = IncompleteDataset(
@@ -157,7 +203,13 @@ def _cmd_evaluate(args) -> int:
     holdout = holdout_split(normalized, args.holdout, np.random.default_rng(args.seed))
     runner = _make_runner(args)
     start = time.perf_counter()
-    imputed, sample_rate = _impute(runner, holdout.train)
+    if args.trace is not None:
+        with recording() as rec:
+            imputed, sample_rate = _impute(runner, holdout.train)
+        write_json_trace(rec, args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    else:
+        imputed, sample_rate = _impute(runner, holdout.train)
     elapsed = time.perf_counter() - start
     method = f"scis-{args.method}" if args.scis else args.method
     print(f"method:      {method}")
@@ -168,6 +220,36 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro obs: {exc}")
+    if args.action == "summarize":
+        text = summarize_trace(trace)
+    elif args.fmt == "csv":
+        text = events_to_csv(trace, event_name=args.event)
+    else:
+        import json
+
+        events = trace["events"]
+        if args.event:
+            events = [e for e in events if e["name"] == args.event]
+        text = json.dumps({**trace, "events": events, "n_events": len(events)}, indent=2)
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.action} -> {args.output}", file=sys.stderr)
+    else:
+        try:
+            print(text)
+        except BrokenPipeError:  # e.g. `repro obs summarize t.json | head`
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: dispatch to the selected subcommand, return exit code."""
     args = build_parser().parse_args(argv)
@@ -175,6 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "impute": _cmd_impute,
         "datagen": _cmd_datagen,
         "evaluate": _cmd_evaluate,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -26,6 +26,7 @@ from ..data.batches import iterate_batches
 from ..data.dataset import IncompleteDataset
 from ..models.base import GenerativeImputer
 from ..nn import masked_mse_loss
+from ..obs import get_recorder, trace
 from ..optim import Adam
 from ..ot import MaskingSinkhornLoss
 from ..tensor import Tensor
@@ -109,6 +110,7 @@ class DIM:
             generator = model.generator
         optimizer = Adam(generator.parameters(), lr=cfg.lr)
 
+        recorder = get_recorder()
         start = time.perf_counter()
         steps = 0
         report = DimReport(epochs=epochs, steps=0, seconds=0.0)
@@ -117,26 +119,47 @@ class DIM:
         epochs_run = 0
         for _ in range(epochs):
             epoch_start_step = steps
-            for values, mask in iterate_batches(
-                dataset, cfg.batch_size, rng=rng, drop_last=False
-            ):
-                if values.shape[0] < 2:
-                    continue  # the square Sinkhorn plan degenerates at n=1
-                if cfg.use_adversarial:
-                    model.adversarial_step(values, mask, rng)
-                noise = model.sample_noise(mask.shape, rng)
-                x_bar = model.reconstruct_batch(values, mask, noise)
-                filled = np.nan_to_num(values, nan=0.0)
-                loss = cfg.ms_weight * self._loss(x_bar, filled, mask)
-                if cfg.rec_weight > 0.0:
-                    loss = loss + cfg.rec_weight * masked_mse_loss(
-                        x_bar, Tensor(filled), mask
-                    )
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                report.ms_losses.append(loss.item())
-                steps += 1
+            adv_g_losses: List[float] = []
+            adv_d_losses: List[float] = []
+            with trace("dim.epoch"):
+                for values, mask in iterate_batches(
+                    dataset, cfg.batch_size, rng=rng, drop_last=False
+                ):
+                    if values.shape[0] < 2:
+                        continue  # the square Sinkhorn plan degenerates at n=1
+                    if cfg.use_adversarial:
+                        adv_stats = model.adversarial_step(values, mask, rng)
+                        if recorder.enabled and adv_stats:
+                            adv_g_losses.append(float(adv_stats.get("g_loss", np.nan)))
+                            adv_d_losses.append(float(adv_stats.get("d_loss", np.nan)))
+                    noise = model.sample_noise(mask.shape, rng)
+                    x_bar = model.reconstruct_batch(values, mask, noise)
+                    filled = np.nan_to_num(values, nan=0.0)
+                    loss = cfg.ms_weight * self._loss(x_bar, filled, mask)
+                    if cfg.rec_weight > 0.0:
+                        loss = loss + cfg.rec_weight * masked_mse_loss(
+                            x_bar, Tensor(filled), mask
+                        )
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    report.ms_losses.append(loss.item())
+                    steps += 1
+            if recorder.enabled:
+                epoch_losses = report.ms_losses[epoch_start_step:]
+                ms_divergence = float(np.mean(epoch_losses)) if epoch_losses else None
+                recorder.inc("dim.epochs")
+                recorder.set_gauge("dim.epoch", epochs_run)
+                if ms_divergence is not None:
+                    recorder.observe("dim.epoch_ms_divergence", ms_divergence)
+                recorder.emit(
+                    "dim.epoch",
+                    epoch=epochs_run,
+                    ms_divergence=ms_divergence,
+                    g_loss=float(np.mean(adv_g_losses)) if adv_g_losses else None,
+                    d_loss=float(np.mean(adv_d_losses)) if adv_d_losses else None,
+                    steps=steps - epoch_start_step,
+                )
             epochs_run += 1
             if cfg.early_stopping_patience is not None and steps > epoch_start_step:
                 epoch_loss = float(np.mean(report.ms_losses[epoch_start_step:]))
@@ -146,10 +169,24 @@ class DIM:
                 else:
                     epochs_without_improvement += 1
                     if epochs_without_improvement >= cfg.early_stopping_patience:
+                        if recorder.enabled:
+                            recorder.emit(
+                                "dim.early_stop",
+                                epoch=epochs_run - 1,
+                                best_epoch_loss=best_epoch_loss,
+                            )
                         break
         report.epochs = epochs_run
         report.steps = steps
         report.seconds = time.perf_counter() - start
+        if recorder.enabled:
+            recorder.emit(
+                "dim.train",
+                epochs=epochs_run,
+                steps=steps,
+                seconds=report.seconds,
+                final_ms_loss=report.final_ms_loss,
+            )
         # mark the model usable through the plain Imputer API
         model._fitted = True
         if getattr(model, "_column_means", None) is None:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..data.dataset import IncompleteDataset
 from ..models.base import GenerativeImputer, impute_equation
+from ..obs import get_recorder, trace
 from ..tensor import no_grad
 from .dim import DIM, DimConfig, DimReport
 from .sse import SSE, SseConfig, SseResult
@@ -114,7 +115,8 @@ class SCIS:
 
         # Line 2: train M₀ with the MS loss.
         self.model.build(dataset.n_features, rng=self._rng)
-        initial_report = self._dim.train(self.model, split.initial, self._rng)
+        with trace("scis.initial_train"):
+            initial_report = self._dim.train(self.model, split.initial, self._rng)
         timings["initial_train"] = initial_report.seconds
 
         # Line 3: minimum sample size.
@@ -125,8 +127,9 @@ class SCIS:
             config=cfg.sse,
             rng=self._rng,
         )
-        sse.prepare(split.initial.values, split.initial.mask)
-        sse_result = sse.estimate_minimum_size(cfg.initial_size, n_total)
+        with trace("scis.sse"):
+            sse.prepare(split.initial.values, split.initial.mask)
+            sse_result = sse.estimate_minimum_size(cfg.initial_size, n_total)
         timings["sse"] = sse_result.seconds
 
         # Lines 4-5: retrain on the minimum sample when it exceeds n₀.
@@ -135,16 +138,30 @@ class SCIS:
             sample = dataset.subsample(
                 sse_result.n_star, self._rng, name=f"{dataset.name}[n*]"
             )
-            retrain_report = self._dim.train(self.model, sample, self._rng)
+            with trace("scis.retrain"):
+                retrain_report = self._dim.train(self.model, sample, self._rng)
             timings["retrain"] = retrain_report.seconds
         else:
             timings["retrain"] = 0.0
 
         # Lines 6-7: impute the full matrix.
         start_impute = time.perf_counter()
-        imputed = self._impute_full(dataset)
+        with trace("scis.impute"):
+            imputed = self._impute_full(dataset)
         timings["impute"] = time.perf_counter() - start_impute
         timings["total"] = time.perf_counter() - start_total
+
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.emit(
+                "scis.result",
+                n_star=sse_result.n_star,
+                n_initial=cfg.initial_size,
+                n_total=n_total,
+                sample_rate=sse_result.n_star / n_total,
+                seconds_total=timings["total"],
+                retrained=retrain_report is not None,
+            )
 
         return ScisResult(
             imputed=imputed,

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..models.base import GenerativeImputer
 from ..nn import flatten_gradients, flatten_parameters, load_flat_parameters
+from ..obs import get_recorder, trace
 from ..tensor import no_grad
 
 __all__ = ["SseConfig", "SseResult", "SSE", "zeta", "eta"]
@@ -185,7 +186,8 @@ class SSE:
 
     def prepare(self, initial_values: np.ndarray, initial_mask: np.ndarray) -> None:
         """Compute ``H`` once; later posterior draws scale its inverse sqrt."""
-        diagonal = self.estimate_hessian_diagonal(initial_values, initial_mask)
+        with trace("sse.prepare"):
+            diagonal = self.estimate_hessian_diagonal(initial_values, initial_mask)
         self._posterior_std_base = 1.0 / np.sqrt(diagonal)
 
     # ------------------------------------------------------------------
@@ -236,13 +238,24 @@ class SSE:
             raise RuntimeError("call prepare() before estimate_minimum_size()")
         start = time.perf_counter()
         cfg = self.config
+        recorder = get_recorder()
         d = self._mask.shape[1]
         threshold = cfg.pass_threshold()
         evaluations: Dict[int, float] = {}
 
         def passes(n: int) -> bool:
             if n not in evaluations:
-                evaluations[n] = self.pass_probability(n, n_initial, n_total, d)
+                with trace("sse.pass_probability"):
+                    evaluations[n] = self.pass_probability(n, n_initial, n_total, d)
+                if recorder.enabled:
+                    recorder.inc("sse.evaluations")
+                    recorder.emit(
+                        "sse.evaluation",
+                        n=n,
+                        pass_probability=evaluations[n],
+                        threshold=threshold,
+                        passed=evaluations[n] >= threshold,
+                    )
             return evaluations[n] >= threshold
 
         low, high = n_initial, n_total
@@ -260,12 +273,27 @@ class SSE:
                 else:
                     low = mid
                 steps += 1
+                if recorder.enabled:
+                    # high is the best passing n* candidate so far; its walk
+                    # down the bracket is the evolving n* trajectory.
+                    recorder.set_gauge("sse.n_star_candidate", high)
+                    recorder.emit("sse.search_step", step=steps, low=low, high=high)
             low = high
+        seconds = time.perf_counter() - start
+        if recorder.enabled:
+            recorder.emit(
+                "sse.result",
+                n_star=high,
+                n_initial=n_initial,
+                n_total=n_total,
+                threshold=threshold,
+                seconds=seconds,
+            )
         return SseResult(
             n_star=high,
             n_initial=n_initial,
             n_total=n_total,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             threshold=threshold,
             evaluations=evaluations,
         )

@@ -27,9 +27,34 @@ import numpy as np
 
 from ..data.dataset import IncompleteDataset
 from ..nn import Linear, Module, ReLU, Sequential, Sigmoid, masked_bce_loss
+from ..obs import get_recorder
 from ..optim import Adam
 from ..tensor import Tensor, no_grad, ops
 from .base import GenerativeImputer
+
+
+def _record_adversarial_step(model_name: str, stats: dict) -> None:
+    """Fold one native-game step into the active recorder (no-op if disabled)."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.inc(f"gan.{model_name}.adversarial_steps")
+    recorder.observe(f"gan.{model_name}.d_loss", stats["d_loss"])
+    recorder.observe(f"gan.{model_name}.g_loss", stats["g_loss"])
+
+
+def _record_fit_epoch(model_name: str, epoch: int, epoch_stats: list) -> None:
+    """Emit a per-epoch event for a native adversarial ``fit`` loop."""
+    recorder = get_recorder()
+    if not recorder.enabled or not epoch_stats:
+        return
+    recorder.emit(
+        f"gan.{model_name}.epoch",
+        epoch=epoch,
+        d_loss=float(np.mean([s["d_loss"] for s in epoch_stats])),
+        g_loss=float(np.mean([s["g_loss"] for s in epoch_stats])),
+        steps=len(epoch_stats),
+    )
 
 __all__ = ["GAINImputer", "GINNImputer", "knn_graph_adjacency"]
 
@@ -171,7 +196,9 @@ class GAINImputer(GenerativeImputer):
         self._g_optimizer.zero_grad()
         g_loss.backward()
         self._g_optimizer.step()
-        return {"d_loss": d_loss.item(), "g_loss": g_loss.item()}
+        stats = {"d_loss": d_loss.item(), "g_loss": g_loss.item()}
+        _record_adversarial_step(self.name, stats)
+        return stats
 
     # ------------------------------------------------------------------
     # Imputer API
@@ -182,11 +209,16 @@ class GAINImputer(GenerativeImputer):
         self.build(dataset.n_features)
         values, mask = dataset.values, dataset.mask
         n = dataset.n_samples
-        for _ in range(self.epochs):
+        record = get_recorder().enabled
+        for epoch in range(self.epochs):
             order = self.rng.permutation(n)
+            epoch_stats = []
             for start in range(0, n, self.batch_size):
                 index = order[start : start + self.batch_size]
-                self.adversarial_step(values[index], mask[index], self.rng)
+                stats = self.adversarial_step(values[index], mask[index], self.rng)
+                if record:
+                    epoch_stats.append(stats)
+            _record_fit_epoch(self.name, epoch, epoch_stats)
         self._fitted = True
         return self
 
@@ -354,7 +386,9 @@ class GINNImputer(GenerativeImputer):
         self._g_optimizer.zero_grad()
         g_loss.backward()
         self._g_optimizer.step()
-        return {"d_loss": d_loss_value, "g_loss": g_loss.item()}
+        stats = {"d_loss": d_loss_value, "g_loss": g_loss.item()}
+        _record_adversarial_step(self.name, stats)
+        return stats
 
     def fit(self, dataset: IncompleteDataset) -> "GINNImputer":
         means = dataset.column_means()
@@ -362,13 +396,18 @@ class GINNImputer(GenerativeImputer):
         self.build(dataset.n_features)
         values, mask = dataset.values, dataset.mask
         n = dataset.n_samples
-        for _ in range(self.epochs):
+        record = get_recorder().enabled
+        for epoch in range(self.epochs):
             order = self.rng.permutation(n)
+            epoch_stats = []
             for start in range(0, n, self.batch_size):
                 index = order[start : start + self.batch_size]
                 if index.size < 2:
                     continue
-                self.adversarial_step(values[index], mask[index], self.rng)
+                stats = self.adversarial_step(values[index], mask[index], self.rng)
+                if record:
+                    epoch_stats.append(stats)
+            _record_fit_epoch(self.name, epoch, epoch_stats)
         self._fitted = True
         return self
 

@@ -1,0 +1,150 @@
+"""Trace exporters: JSON (full fidelity) and CSV (events only), plus a
+human summary used by the ``repro obs`` CLI subcommand.
+
+A *trace* is the dict produced by
+:meth:`repro.obs.recorder.InMemoryRecorder.to_dict`:
+
+``{"version": 1, "duration_seconds": ..., "n_events": ...,
+"dropped_events": ..., "events": [{"name", "t", "fields"}, ...],
+"metrics": {"counters": ..., "gauges": ..., "histograms": ...}}``
+
+JSON round-trips losslessly through :func:`write_json_trace` /
+:func:`load_trace`.  CSV flattens events to one row each with a column per
+field key (union across events), for spreadsheet-style inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .recorder import InMemoryRecorder
+
+__all__ = [
+    "trace_to_dict",
+    "write_json_trace",
+    "load_trace",
+    "events_to_csv",
+    "write_csv_events",
+    "summarize_trace",
+]
+
+TraceLike = Union[InMemoryRecorder, Dict[str, object]]
+
+
+def trace_to_dict(trace: TraceLike) -> Dict[str, object]:
+    """Normalise a recorder or an already-built trace dict to a dict."""
+    if isinstance(trace, InMemoryRecorder):
+        return trace.to_dict()
+    if isinstance(trace, dict):
+        return trace
+    raise TypeError(f"expected InMemoryRecorder or dict, got {type(trace)!r}")
+
+
+def _jsonify(value: object) -> object:
+    # NumPy scalars reach here from instrumented call sites; duck-type via
+    # .item() so this module stays NumPy-free.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def write_json_trace(trace: TraceLike, path: Union[str, Path]) -> Path:
+    """Serialise the trace to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace), indent=2, default=_jsonify))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a JSON trace written by :func:`write_json_trace`."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "events" not in data:
+        raise ValueError(f"{path} is not a repro.obs trace (no 'events' key)")
+    return data
+
+
+def events_to_csv(trace: TraceLike, event_name: str = "") -> str:
+    """Render events as CSV text: ``t,name,<field columns...>``.
+
+    ``event_name`` filters to one event type (empty string keeps all),
+    which also keeps the column set narrow.
+    """
+    events = trace_to_dict(trace)["events"]
+    if event_name:
+        events = [e for e in events if e["name"] == event_name]
+    field_names: List[str] = []
+    for event in events:
+        for key in event["fields"]:
+            if key not in field_names:
+                field_names.append(key)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["t", "name", *field_names])
+    for event in events:
+        fields = event["fields"]
+        writer.writerow(
+            [event["t"], event["name"], *[fields.get(k, "") for k in field_names]]
+        )
+    return buffer.getvalue()
+
+
+def write_csv_events(
+    trace: TraceLike, path: Union[str, Path], event_name: str = ""
+) -> Path:
+    """Write :func:`events_to_csv` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(events_to_csv(trace, event_name=event_name))
+    return path
+
+
+def _format_number(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summarize_trace(trace: TraceLike) -> str:
+    """Multi-line human summary: event counts, counters, gauges, histograms."""
+    data = trace_to_dict(trace)
+    lines = [
+        f"trace: {data.get('n_events', len(data['events']))} events over "
+        f"{float(data.get('duration_seconds', 0.0)):.3f}s "
+        f"({data.get('dropped_events', 0)} dropped)"
+    ]
+    counts: Dict[str, int] = {}
+    for event in data["events"]:
+        counts[event["name"]] = counts.get(event["name"], 0) + 1
+    if counts:
+        lines.append("events:")
+        for name, count in sorted(counts.items()):
+            lines.append(f"  {name:<32} x{count}")
+    metrics = data.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<32} {_format_number(value)}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<32} {_format_number(value)}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, summary in sorted(histograms.items()):
+            mean = summary.get("mean")
+            lines.append(
+                f"  {name:<32} n={summary.get('count')} "
+                f"mean={_format_number(mean) if mean is not None else '-'} "
+                f"min={_format_number(summary.get('min'))} "
+                f"p50={_format_number(summary.get('p50'))} "
+                f"p99={_format_number(summary.get('p99'))} "
+                f"max={_format_number(summary.get('max'))}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Recorders and span timers: the event half of the observability layer.
+
+The instrumentation contract (documented in ``docs/observability.md``) is
+deliberately tiny so every layer of the stack can afford it:
+
+* Hot paths fetch the process-wide recorder with :func:`get_recorder` and
+  guard all work behind ``recorder.enabled`` — with the default
+  :class:`NullRecorder` attached, instrumentation costs one function call
+  and one attribute read per site.
+* When a :class:`InMemoryRecorder` is attached (usually via the
+  :func:`recording` context manager), instrumented code emits structured
+  :class:`Event` rows and updates metrics on the recorder's
+  :class:`~repro.obs.registry.MetricsRegistry`.
+* :func:`trace` times a code block as a named span; spans nest, and each
+  close emits a ``span`` event carrying its name, depth, parent, and
+  duration, plus a ``span.<name>.seconds`` histogram observation.
+
+Pure standard library by design — this module sits below ``repro.tensor``
+in the dependency order and must not import anything from ``repro``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "Event",
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "trace",
+]
+
+
+@dataclass
+class Event:
+    """One structured telemetry row.
+
+    ``t`` is seconds since the recorder was attached; ``fields`` holds the
+    event's scalar payload (numbers, strings, bools, ``None``).
+    """
+
+    name: str
+    t: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "t": self.t, "fields": dict(self.fields)}
+
+
+class Recorder:
+    """Recorder protocol: what instrumented code is allowed to call.
+
+    ``enabled`` is the contract's overhead guarantee: instrumentation MUST
+    check it before doing any work beyond the call itself, so a disabled
+    recorder costs O(1) per site with no allocation.
+    """
+
+    enabled: bool = False
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        raise NotImplementedError
+
+    def emit(self, name: str, **fields: object) -> None:
+        raise NotImplementedError
+
+    # Metric conveniences so call sites need only the recorder handle.
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+
+class NullRecorder(Recorder):
+    """The default recorder: every operation is a no-op.
+
+    Kept stateless and metric-free so an accidentally unguarded call still
+    cannot accumulate memory.
+    """
+
+    enabled = False
+
+    @property
+    def metrics(self) -> MetricsRegistry:  # fresh throwaway, never retained
+        return MetricsRegistry()
+
+    def emit(self, name: str, **fields: object) -> None:
+        pass
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+class InMemoryRecorder(Recorder):
+    """Collects events and metrics in memory for later export.
+
+    ``max_events`` bounds the event list; overflow increments
+    ``dropped_events`` (reported in the exported trace) instead of growing
+    without bound during long runs.  Metrics are always updated — they are
+    O(1) in memory by construction.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped_events = 0
+        self._metrics = MetricsRegistry()
+        self._start = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans = threading.local()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    def clock(self) -> float:
+        """Seconds since this recorder was created."""
+        return time.perf_counter() - self._start
+
+    def emit(self, name: str, **fields: object) -> None:
+        event = Event(name=name, t=self.clock(), fields=fields)
+        with self._lock:
+            if len(self.events) < self.max_events:
+                self.events.append(event)
+            else:
+                self.dropped_events += 1
+
+    # ------------------------------------------------------------------
+    # Span bookkeeping (used by trace(); stack is per-thread)
+    # ------------------------------------------------------------------
+    def _span_stack(self) -> List[str]:
+        stack = getattr(self._spans, "stack", None)
+        if stack is None:
+            stack = []
+            self._spans.stack = stack
+        return stack
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready trace: events, metric snapshot, bookkeeping."""
+        with self._lock:
+            events = [event.to_dict() for event in self.events]
+            dropped = self.dropped_events
+        return {
+            "version": 1,
+            "duration_seconds": self.clock(),
+            "n_events": len(events),
+            "dropped_events": dropped,
+            "events": events,
+            "metrics": self._metrics.snapshot(),
+        }
+
+
+_NULL = NullRecorder()
+_active: Recorder = _NULL
+
+
+def get_recorder() -> Recorder:
+    """The process-wide recorder; :class:`NullRecorder` unless attached."""
+    return _active
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Attach ``recorder`` globally (``None`` restores the null recorder).
+
+    Returns the previously attached recorder so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else _NULL
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[InMemoryRecorder] = None) -> Iterator[InMemoryRecorder]:
+    """Attach a recorder for the duration of the block and yield it.
+
+    ::
+
+        with recording() as rec:
+            DIM(config).train(model, dataset, rng)
+        write_json_trace(rec, "trace.json")
+    """
+    rec = recorder if recorder is not None else InMemoryRecorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def trace(name: str, recorder: Optional[Recorder] = None, **fields: object) -> Iterator[None]:
+    """Time a block as a span named ``name``.
+
+    No-op (and allocation-free) when the active recorder is disabled.  On
+    close, emits a ``span`` event with the span's name, nesting depth,
+    parent span (or ``None``), duration, and any extra ``fields``, and
+    observes the duration in the ``span.<name>.seconds`` histogram.
+    """
+    rec = recorder if recorder is not None else _active
+    if not rec.enabled:
+        yield
+        return
+    stack = rec._span_stack() if isinstance(rec, InMemoryRecorder) else []
+    parent = stack[-1] if stack else None
+    depth = len(stack)
+    stack.append(name)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - start
+        if stack and stack[-1] == name:
+            stack.pop()
+        rec.observe(f"span.{name}.seconds", seconds)
+        rec.emit(
+            "span", span=name, seconds=seconds, depth=depth, parent=parent, **fields
+        )

@@ -1,0 +1,176 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The registry is the aggregate half of the observability layer (events are
+the other half, see :mod:`repro.obs.recorder`).  Three metric types cover
+everything the training stack needs:
+
+``Counter``
+    Monotonically increasing total (Sinkhorn solves, Adam steps, epochs).
+``Gauge``
+    Last-written value (current epoch, current SSE bracket).
+``Histogram``
+    Streaming distribution summary (Sinkhorn iteration counts, step
+    timings, per-batch losses).  Exact count/total/min/max plus a bounded
+    reservoir for quantiles, so memory stays O(``max_samples``) no matter
+    how long training runs.
+
+Everything here is pure standard library — the observability layer must be
+importable below ``repro.tensor`` without dragging in NumPy.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic counter; ``inc`` with a negative amount is rejected."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-value metric; ``value`` is ``None`` until first set."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: exact moments, reservoir-sampled quantiles.
+
+    The first ``max_samples`` observations are kept verbatim; afterwards
+    classic reservoir sampling (seeded per-histogram, so summaries are
+    reproducible) keeps a uniform subsample.  ``count``/``total``/``min``/
+    ``max`` stay exact regardless.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "max_samples", "_samples", "_rng")
+
+    def __init__(self, name: str, max_samples: int = 2048) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics; name reuse across types raises.
+
+    Thread-safe for creation; individual metric updates are plain attribute
+    arithmetic (atomic enough under the GIL for telemetry purposes).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        holders = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in holders.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._check_free(name, "counter")
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._check_free(name, "gauge")
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._check_free(name, "histogram")
+                self._histograms[name] = Histogram(name, max_samples=max_samples)
+            return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view of every metric, sorted by name."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }

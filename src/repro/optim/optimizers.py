@@ -6,17 +6,25 @@ provided for ablations and for the simpler downstream prediction heads.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List
 
 import numpy as np
 
 from ..nn.module import Parameter
+from ..obs import get_recorder
 
 __all__ = ["Optimizer", "SGD", "Adam", "RMSprop"]
 
 
 class Optimizer:
-    """Base class holding the parameter list and the zero-grad helper."""
+    """Base class holding the parameter list and the zero-grad helper.
+
+    ``step()`` is a template method: subclasses implement the update in
+    ``_step()``, and the base times each call into the active recorder's
+    ``optim.<name>.step_seconds`` histogram (``optim.adam.step_seconds``
+    etc.) when telemetry is enabled — a bare ``_step()`` call otherwise.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters: List[Parameter] = list(parameters)
@@ -31,6 +39,17 @@ class Optimizer:
             param.zero_grad()
 
     def step(self) -> None:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            self._step()
+            return
+        start = time.perf_counter()
+        self._step()
+        label = type(self).__name__.lower()
+        recorder.inc(f"optim.{label}.steps")
+        recorder.observe(f"optim.{label}.step_seconds", time.perf_counter() - start)
+
+    def _step(self) -> None:
         raise NotImplementedError
 
 
@@ -49,7 +68,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -84,7 +103,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
 
-    def step(self) -> None:
+    def _step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
@@ -118,7 +137,7 @@ class RMSprop(Optimizer):
         self.eps = eps
         self._sq = [np.zeros_like(p.data) for p in self.parameters]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param, sq in zip(self.parameters, self._sq):
             if param.grad is None:
                 continue

@@ -1,0 +1,344 @@
+"""Observability layer: registry semantics, spans, recorders, exporters,
+and the instrumentation contract wired through DIM / Sinkhorn / optimisers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DIM, DimConfig
+from repro.data import MinMaxNormalizer, generate
+from repro.models import GAINImputer
+from repro.obs import (
+    Counter,
+    Event,
+    Gauge,
+    Histogram,
+    InMemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    events_to_csv,
+    get_recorder,
+    load_trace,
+    recording,
+    set_recorder,
+    summarize_trace,
+    trace,
+    trace_to_dict,
+    write_csv_events,
+    write_json_trace,
+)
+from repro.optim import Adam
+from repro.ot import sinkhorn
+
+
+class TestRegistry:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_last_value(self):
+        gauge = Gauge("g")
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_moments_exact(self):
+        hist = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0 and hist.max == 4.0
+        assert hist.mean == 2.5
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 4.0
+
+    def test_histogram_reservoir_bounds_memory(self):
+        hist = Histogram("h", max_samples=16)
+        for v in range(1000):
+            hist.observe(float(v))
+        assert hist.count == 1000  # exact even past the reservoir bound
+        assert hist.min == 0.0 and hist.max == 999.0
+        assert len(hist._samples) == 16
+
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_registry_rejects_cross_type_reuse(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+        with pytest.raises(ValueError):
+            registry.histogram("name")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(7.0)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestRecorderLifecycle:
+    def test_default_recorder_is_null_and_disabled(self):
+        recorder = get_recorder()
+        assert isinstance(recorder, NullRecorder)
+        assert recorder.enabled is False
+
+    def test_recording_attaches_and_restores(self):
+        before = get_recorder()
+        with recording() as rec:
+            assert get_recorder() is rec
+            assert rec.enabled
+        assert get_recorder() is before
+
+    def test_recording_restores_on_exception(self):
+        before = get_recorder()
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert get_recorder() is before
+
+    def test_set_recorder_returns_previous(self):
+        rec = InMemoryRecorder()
+        previous = set_recorder(rec)
+        try:
+            assert get_recorder() is rec
+        finally:
+            set_recorder(previous)
+
+    def test_emit_collects_events_with_timestamps(self):
+        rec = InMemoryRecorder()
+        rec.emit("a", x=1)
+        rec.emit("b", y="s")
+        assert [e.name for e in rec.events] == ["a", "b"]
+        assert rec.events[0].fields == {"x": 1}
+        assert rec.events[0].t <= rec.events[1].t
+
+    def test_max_events_drops_and_counts(self):
+        rec = InMemoryRecorder(max_events=2)
+        for i in range(5):
+            rec.emit("e", i=i)
+        assert len(rec.events) == 2
+        assert rec.dropped_events == 3
+        assert rec.to_dict()["dropped_events"] == 3
+
+    def test_noop_path_allocates_nothing(self):
+        """The overhead guarantee: a disabled recorder stores no state."""
+        null = NullRecorder()
+        null.emit("never", x=1)
+        null.inc("c")
+        null.observe("h", 1.0)
+        null.set_gauge("g", 2.0)
+        assert null.metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_instrumented_code_emits_nothing_when_disabled(self):
+        cost = np.random.default_rng(0).random((6, 6))
+        result = sinkhorn(cost, reg=1.0)
+        # a fresh recorder attached *after* the call saw none of it
+        with recording() as rec:
+            pass
+        assert rec.events == []
+        assert result.converged  # the solve itself still worked
+
+
+class TestSpans:
+    def test_trace_disabled_is_noop(self):
+        with trace("outer"):
+            pass  # no recorder attached: must not raise or record anything
+
+    def test_span_event_and_histogram(self):
+        with recording() as rec:
+            with trace("solve", extra="tag"):
+                pass
+        spans = [e for e in rec.events if e.name == "span"]
+        assert len(spans) == 1
+        assert spans[0].fields["span"] == "solve"
+        assert spans[0].fields["depth"] == 0
+        assert spans[0].fields["parent"] is None
+        assert spans[0].fields["extra"] == "tag"
+        assert spans[0].fields["seconds"] >= 0.0
+        assert rec.metrics.histogram("span.solve.seconds").count == 1
+
+    def test_span_nesting_depth_and_parent(self):
+        with recording() as rec:
+            with trace("outer"):
+                with trace("inner"):
+                    pass
+                with trace("inner"):
+                    pass
+        spans = [e.fields for e in rec.events if e.name == "span"]
+        inner = [s for s in spans if s["span"] == "inner"]
+        outer = [s for s in spans if s["span"] == "outer"]
+        assert len(inner) == 2 and len(outer) == 1
+        assert all(s["depth"] == 1 and s["parent"] == "outer" for s in inner)
+        assert outer[0]["depth"] == 0 and outer[0]["parent"] is None
+        # inner spans close before (and are recorded before) the outer one
+        assert rec.metrics.histogram("span.inner.seconds").count == 2
+
+    def test_span_restores_stack_on_exception(self):
+        with recording() as rec:
+            with pytest.raises(ValueError):
+                with trace("outer"):
+                    raise ValueError("boom")
+            with trace("after"):
+                pass
+        after = [e.fields for e in rec.events if e.fields.get("span") == "after"]
+        assert after[0]["depth"] == 0 and after[0]["parent"] is None
+
+
+class TestExporters:
+    def _sample_recorder(self):
+        rec = InMemoryRecorder()
+        rec.emit("dim.epoch", epoch=0, ms_divergence=0.5)
+        rec.emit("dim.epoch", epoch=1, ms_divergence=0.25)
+        rec.emit("other", note="text")
+        rec.inc("steps", 3)
+        rec.set_gauge("epoch", 1)
+        rec.observe("loss", 0.5)
+        return rec
+
+    def test_json_round_trip(self, tmp_path):
+        rec = self._sample_recorder()
+        path = write_json_trace(rec, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        original = trace_to_dict(rec)
+        assert loaded["events"] == original["events"]
+        assert loaded["metrics"] == original["metrics"]
+        assert loaded["n_events"] == 3
+        assert loaded["version"] == 1
+
+    def test_json_serialises_numpy_scalars(self, tmp_path):
+        rec = InMemoryRecorder()
+        rec.emit("e", int_val=np.int64(3), float_val=np.float64(0.5))
+        loaded = load_trace(write_json_trace(rec, tmp_path / "np.json"))
+        assert loaded["events"][0]["fields"] == {"int_val": 3, "float_val": 0.5}
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"no": "events"}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_csv_columns_and_filter(self, tmp_path):
+        rec = self._sample_recorder()
+        text = events_to_csv(rec, event_name="dim.epoch")
+        lines = text.strip().splitlines()
+        assert lines[0] == "t,name,epoch,ms_divergence"
+        assert len(lines) == 3
+        path = write_csv_events(rec, tmp_path / "events.csv")
+        assert (tmp_path / "events.csv").read_text().splitlines()[0].startswith("t,name")
+
+    def test_summarize_mentions_events_and_metrics(self):
+        rec = self._sample_recorder()
+        text = summarize_trace(rec)
+        assert "dim.epoch" in text
+        assert "steps" in text
+        assert "loss" in text
+        assert "3 events" in text
+
+
+@pytest.fixture(scope="module")
+def dim_trace():
+    """One tiny instrumented DIM run shared by the integration tests."""
+    rng = np.random.default_rng(0)
+    dataset = MinMaxNormalizer().fit_transform(
+        generate("trial", n_samples=200, seed=0).dataset
+    )
+    model = GAINImputer(seed=0)
+    with recording() as rec:
+        report = DIM(DimConfig(epochs=3, batch_size=64)).train(model, dataset, rng)
+    return rec, report
+
+
+class TestDimIntegration:
+    def test_epoch_counter_monotone(self, dim_trace):
+        rec, report = dim_trace
+        epochs = [e.fields["epoch"] for e in rec.events if e.name == "dim.epoch"]
+        assert epochs == list(range(report.epochs))
+
+    def test_epoch_events_carry_losses(self, dim_trace):
+        rec, _ = dim_trace
+        for event in rec.events:
+            if event.name != "dim.epoch":
+                continue
+            assert np.isfinite(event.fields["ms_divergence"])
+            assert np.isfinite(event.fields["g_loss"])
+            assert np.isfinite(event.fields["d_loss"])
+            assert event.fields["steps"] > 0
+
+    def test_sinkhorn_events_present_with_violation(self, dim_trace):
+        rec, _ = dim_trace
+        solves = [e for e in rec.events if e.name == "sinkhorn.solve"]
+        assert solves, "DIM training must emit sinkhorn.solve events"
+        for event in solves:
+            assert event.fields["iterations"] >= 1
+            assert event.fields["marginal_violation"] >= 0.0
+
+    def test_counters_and_timings(self, dim_trace):
+        rec, report = dim_trace
+        snap = rec.metrics.snapshot()
+        assert snap["counters"]["dim.epochs"] == report.epochs
+        assert snap["counters"]["optim.adam.steps"] >= report.steps
+        assert snap["histograms"]["optim.adam.step_seconds"]["count"] >= report.steps
+        assert snap["counters"]["sinkhorn.solves"] == len(
+            [e for e in rec.events if e.name == "sinkhorn.solve"]
+        )
+
+    def test_trace_exports_cleanly(self, dim_trace, tmp_path):
+        rec, _ = dim_trace
+        loaded = load_trace(write_json_trace(rec, tmp_path / "dim.json"))
+        names = {e["name"] for e in loaded["events"]}
+        assert {"dim.epoch", "dim.train", "sinkhorn.solve", "span"} <= names
+
+
+class TestSinkhornResultViolation:
+    def test_converged_run_reports_violation_below_tol(self):
+        cost = np.random.default_rng(0).random((8, 8))
+        result = sinkhorn(cost, reg=1.0, tol=1e-9)
+        assert result.converged
+        assert 0.0 <= result.marginal_violation < 1e-9
+
+    def test_near_miss_distinguishable_from_divergence(self):
+        cost = np.random.default_rng(1).random((8, 8))
+        # One sweep at small reg: not converged, but the violation is finite
+        # and tells how far off the marginals still are.
+        result = sinkhorn(cost, reg=0.05, max_iter=1, tol=1e-12)
+        assert not result.converged
+        assert np.isfinite(result.marginal_violation)
+        assert result.marginal_violation > 0.0
+        more = sinkhorn(cost, reg=0.05, max_iter=200, tol=1e-12)
+        assert more.marginal_violation < result.marginal_violation
+
+
+class TestAdamTiming:
+    def test_step_timing_recorded_only_when_enabled(self):
+        from repro.nn import Parameter
+
+        param = Parameter(np.array([1.0, 2.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([0.1, 0.1])
+        optimizer.step()  # disabled: nothing recorded anywhere
+        with recording() as rec:
+            param.grad = np.array([0.1, 0.1])
+            optimizer.step()
+        snap = rec.metrics.snapshot()
+        assert snap["counters"]["optim.adam.steps"] == 1
+        assert snap["histograms"]["optim.adam.step_seconds"]["count"] == 1

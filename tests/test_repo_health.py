@@ -65,6 +65,24 @@ class TestDocsReferenceRealFiles:
         assert len(list((REPO_ROOT / "examples").glob("*.py"))) >= 3
 
 
+class TestObsDocConsistency:
+    """docs/api.md must track the public repro.obs surface (and exist)."""
+
+    def test_observability_doc_exists(self):
+        assert (REPO_ROOT / "docs" / "observability.md").exists()
+
+    def test_every_public_obs_symbol_documented_in_api(self):
+        import repro.obs
+
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        missing = [name for name in repro.obs.__all__ if name not in api_text]
+        assert not missing, f"docs/api.md misses repro.obs symbols: {missing}"
+
+    def test_obs_cli_subcommand_documented(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        assert "repro obs" in api_text
+
+
 class TestRegistryConsistency:
     def test_registry_names_match_imputer_name_attribute(self):
         from repro.models.registry import REGISTRY
