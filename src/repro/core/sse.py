@@ -194,20 +194,26 @@ class SSE:
     # Imputation difference (Eq. 4)
     # ------------------------------------------------------------------
     def _reconstruct_validation(self, theta: np.ndarray) -> np.ndarray:
+        """Load ``theta`` and reconstruct the validation split (no restore)."""
         generator = self.model.generator
         load_flat_parameters(generator, theta)
         with no_grad():
             out = self.model.reconstruct_batch(self._values, self._mask, self._noise)
         return out.data
 
-    def imputation_difference(self, theta_a: np.ndarray, theta_b: np.ndarray) -> float:
-        """D(θ_a, θ_b): RMS of masked reconstruction differences (Eq. 4)."""
-        recon_a = self._reconstruct_validation(theta_a)
-        recon_b = self._reconstruct_validation(theta_b)
-        load_flat_parameters(self.model.generator, self._theta0)  # restore
+    def _masked_rms(self, recon_a: np.ndarray, recon_b: np.ndarray) -> float:
         masked = self._mask * (recon_a - recon_b)
         count = max(self._mask.sum(), 1.0)
         return float(np.sqrt((masked**2).sum() / count))
+
+    def imputation_difference(self, theta_a: np.ndarray, theta_b: np.ndarray) -> float:
+        """D(θ_a, θ_b): RMS of masked reconstruction differences (Eq. 4)."""
+        try:
+            recon_a = self._reconstruct_validation(theta_a)
+            recon_b = self._reconstruct_validation(theta_b)
+        finally:
+            load_flat_parameters(self.model.generator, self._theta0)  # restore
+        return self._masked_rms(recon_a, recon_b)
 
     # ------------------------------------------------------------------
     # Pass probability and search
@@ -222,14 +228,22 @@ class SSE:
             raise RuntimeError("call prepare() before pass_probability()")
         cfg = self.config
         scale = 1.0 / max(self._theta0.size, 1) if cfg.normalize_variance else 1.0
+        # Both variance scales depend only on (n, n_initial, n_total): hoist
+        # them out of the k-sample loop instead of recomputing per draw.
         eta_n = eta(cfg.reg, d, n_initial, n) * scale
+        eta_big = (eta(cfg.reg, d, n, n_total) if n_total > n else 0.0) * scale
         passes = 0
-        for _ in range(cfg.n_parameter_samples):
-            theta_n = self._sample_theta(self._theta0, eta_n)
-            eta_big = (eta(cfg.reg, d, n, n_total) if n_total > n else 0.0) * scale
-            theta_big = self._sample_theta(theta_n, eta_big)
-            if self.imputation_difference(theta_n, theta_big) <= cfg.error_bound:
-                passes += 1
+        try:
+            for _ in range(cfg.n_parameter_samples):
+                theta_n = self._sample_theta(self._theta0, eta_n)
+                theta_big = self._sample_theta(theta_n, eta_big)
+                recon_n = self._reconstruct_validation(theta_n)
+                recon_big = self._reconstruct_validation(theta_big)
+                if self._masked_rms(recon_n, recon_big) <= cfg.error_bound:
+                    passes += 1
+        finally:
+            # One θ₀ restore per call instead of one per sampled pair.
+            load_flat_parameters(self.model.generator, self._theta0)
         return passes / cfg.n_parameter_samples
 
     def estimate_minimum_size(self, n_initial: int, n_total: int) -> SseResult:

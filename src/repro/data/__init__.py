@@ -8,7 +8,13 @@ from .io import read_csv, write_csv
 from .missingness import HoldoutSplit, ampute, holdout_split
 from .normalize import MinMaxNormalizer, Standardizer
 from .profile import ColumnProfile, MissingnessProfile, profile_missingness
-from .streaming import CsvRowStream, StreamingReport, impute_csv_streaming, reservoir_sample
+from .streaming import (
+    CsvRowStream,
+    ScanResult,
+    StreamingReport,
+    impute_csv_streaming,
+    reservoir_sample,
+)
 
 __all__ = [
     "IncompleteDataset",
@@ -19,6 +25,7 @@ __all__ = [
     "MissingnessProfile",
     "ColumnProfile",
     "CsvRowStream",
+    "ScanResult",
     "reservoir_sample",
     "impute_csv_streaming",
     "StreamingReport",

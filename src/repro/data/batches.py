@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -17,17 +17,32 @@ def iterate_batches(
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = True,
     drop_last: bool = False,
-) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    yield_indices: bool = False,
+    order: Optional[np.ndarray] = None,
+) -> Iterator[Union[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
     """Yield ``(values, mask)`` batches; missing entries come through as nan.
 
     ``drop_last`` skips a trailing batch smaller than ``batch_size`` (useful
     for the Sinkhorn loss, whose plan is square per batch and degenerates for
     a batch of one).
+
+    ``yield_indices`` adds the batch's row indices as a third element, making
+    batches identifiable — the handle DIM uses to key its Sinkhorn warm-start
+    store and self-term cache.  ``order`` supplies an explicit row
+    permutation instead of drawing one (so a caller can fix the batch
+    partition across epochs); it overrides ``shuffle``.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     n = dataset.n_samples
-    if shuffle:
+    if order is not None:
+        order = np.asarray(order, dtype=np.intp)
+        if order.ndim != 1 or order.size != n:
+            raise ValueError(
+                f"order must be a 1-D permutation of all {n} rows, "
+                f"got shape {order.shape}"
+            )
+    elif shuffle:
         if rng is None:
             rng = np.random.default_rng()
         order = rng.permutation(n)
@@ -37,4 +52,7 @@ def iterate_batches(
         index = order[start : start + batch_size]
         if drop_last and index.size < batch_size:
             break
-        yield dataset.values[index], dataset.mask[index]
+        if yield_indices:
+            yield dataset.values[index], dataset.mask[index], index
+        else:
+            yield dataset.values[index], dataset.mask[index]

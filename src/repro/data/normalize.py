@@ -8,6 +8,7 @@ prediction heads.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -29,7 +30,9 @@ class MinMaxNormalizer:
         self.ranges: Optional[np.ndarray] = None
 
     def fit(self, dataset: IncompleteDataset) -> "MinMaxNormalizer":
-        with np.errstate(invalid="ignore"):
+        with warnings.catch_warnings():
+            # all-NaN columns are legal; their nanmin/nanmax warning is noise
+            warnings.simplefilter("ignore", RuntimeWarning)
             self.minima = np.nanmin(dataset.values, axis=0)
             maxima = np.nanmax(dataset.values, axis=0)
         self.minima = np.where(np.isnan(self.minima), 0.0, self.minima)

@@ -5,17 +5,20 @@
 ``n₀ + n*`` rows, so the full table never needs to be resident:
 
 1. :class:`CsvRowStream` reads a CSV in row chunks;
-2. :func:`reservoir_sample` draws the validation/initial/n* samples in one
-   pass with reservoir sampling;
+2. :meth:`CsvRowStream.scan` collects the row count, per-column observed
+   ranges, and a reservoir sample (Vitter's algorithm R) in **one** pass;
 3. :func:`impute_csv_streaming` trains SCIS on those samples and streams the
    imputation chunk-by-chunk into an output CSV.
 
-Memory footprint is O(chunk + n* ) rows regardless of the table's size.
+Memory footprint is O(chunk + n*) rows regardless of the table's size, and
+the whole pipeline reads the input exactly twice: one combined pre-training
+pass, one imputation pass.
 """
 
 from __future__ import annotations
 
 import csv
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Union
@@ -28,7 +31,27 @@ from .dataset import IncompleteDataset
 from .io import _MISSING_TOKENS
 from .normalize import MinMaxNormalizer
 
-__all__ = ["CsvRowStream", "reservoir_sample", "impute_csv_streaming", "StreamingReport"]
+__all__ = [
+    "CsvRowStream",
+    "ScanResult",
+    "reservoir_sample",
+    "impute_csv_streaming",
+    "StreamingReport",
+]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Everything one combined pass over a CSV can tell up front.
+
+    ``sample`` is ``None`` unless a reservoir was requested; when the file
+    has fewer rows than ``sample_size`` it simply holds every row.
+    """
+
+    rows: int
+    minima: np.ndarray
+    maxima: np.ndarray
+    sample: Optional[np.ndarray] = None
 
 
 class CsvRowStream:
@@ -104,6 +127,57 @@ class CsvRowStream:
                 values = np.stack(buffer)
                 yield values, (~np.isnan(values)).astype(np.float64)
 
+    def scan(
+        self,
+        sample_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ScanResult:
+        """Row count, observed ranges, and (optionally) a reservoir — one pass.
+
+        Replaces the separate ``count_rows()`` + ``observed_ranges()`` +
+        ``reservoir_sample()`` passes with a single read of the file.  The
+        reservoir update is Vitter's algorithm R, drawing from ``rng``
+        exactly as :func:`reservoir_sample` does, so a scan with the same
+        generator state produces the same sample.
+        """
+        if sample_size is not None:
+            if sample_size < 1:
+                raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+            if rng is None:
+                raise ValueError("scan(sample_size=...) requires an rng")
+        minima: Optional[np.ndarray] = None
+        maxima: Optional[np.ndarray] = None
+        reservoir: List[np.ndarray] = []
+        seen = 0
+        for values, _ in self.chunks():
+            with warnings.catch_warnings():
+                # all-NaN columns are legal; their nanmin/nanmax warning is noise
+                warnings.simplefilter("ignore", RuntimeWarning)
+                chunk_min = np.nanmin(values, axis=0)
+                chunk_max = np.nanmax(values, axis=0)
+            if minima is None:
+                minima, maxima = chunk_min, chunk_max
+            else:
+                minima = np.fmin(minima, chunk_min)
+                maxima = np.fmax(maxima, chunk_max)
+            if sample_size is None:
+                seen += values.shape[0]
+                continue
+            for row in values:
+                seen += 1
+                if len(reservoir) < sample_size:
+                    reservoir.append(row.copy())
+                else:
+                    slot = rng.integers(0, seen)
+                    if slot < sample_size:
+                        reservoir[slot] = row.copy()
+        if minima is None:
+            raise ValueError(f"{self.path} has no data rows")
+        minima = np.where(np.isnan(minima), 0.0, minima)
+        maxima = np.where(np.isnan(maxima), 1.0, maxima)
+        sample = np.stack(reservoir) if reservoir else None
+        return ScanResult(rows=seen, minima=minima, maxima=maxima, sample=sample)
+
     def count_rows(self) -> int:
         """One cheap pass counting data rows."""
         total = 0
@@ -113,22 +187,8 @@ class CsvRowStream:
 
     def observed_ranges(self) -> tuple[np.ndarray, np.ndarray]:
         """Streaming per-column (min, max) over observed cells."""
-        minima: Optional[np.ndarray] = None
-        maxima: Optional[np.ndarray] = None
-        for values, _ in self.chunks():
-            with np.errstate(invalid="ignore"):
-                chunk_min = np.nanmin(values, axis=0)
-                chunk_max = np.nanmax(values, axis=0)
-            if minima is None:
-                minima, maxima = chunk_min, chunk_max
-            else:
-                minima = np.fmin(minima, chunk_min)
-                maxima = np.fmax(maxima, chunk_max)
-        if minima is None:
-            raise ValueError(f"{self.path} has no data rows")
-        minima = np.where(np.isnan(minima), 0.0, minima)
-        maxima = np.where(np.isnan(maxima), 1.0, maxima)
-        return minima, maxima
+        result = self.scan()
+        return result.minima, result.maxima
 
 
 def reservoir_sample(
@@ -137,20 +197,10 @@ def reservoir_sample(
     """Uniform sample of ``size`` rows in one pass (Vitter's algorithm R)."""
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
-    reservoir: List[np.ndarray] = []
-    seen = 0
-    for values, _ in stream.chunks():
-        for row in values:
-            seen += 1
-            if len(reservoir) < size:
-                reservoir.append(row.copy())
-            else:
-                slot = rng.integers(0, seen)
-                if slot < size:
-                    reservoir[slot] = row.copy()
-    if seen < size:
-        raise ValueError(f"stream has only {seen} rows, requested {size}")
-    return np.stack(reservoir)
+    result = stream.scan(sample_size=size, rng=rng)
+    if result.rows < size:
+        raise ValueError(f"stream has only {result.rows} rows, requested {size}")
+    return result.sample
 
 
 @dataclass(frozen=True)
@@ -164,7 +214,7 @@ class StreamingReport:
 
 
 def impute_csv_streaming(
-    input_path: Union[str, Path],
+    input_path: Union[str, Path, CsvRowStream],
     output_path: Union[str, Path],
     model: GenerativeImputer,
     scis_config=None,
@@ -173,10 +223,15 @@ def impute_csv_streaming(
 ) -> StreamingReport:
     """Impute a CSV of arbitrary size with SCIS, never materialising it.
 
-    The training samples (validation + initial + the SSE-estimated minimum
-    sample) are drawn with reservoir sampling; normalisation statistics come
-    from a streaming min/max pass; imputation streams chunk-by-chunk into
-    ``output_path``.
+    The row count, normalisation statistics, and the training reservoir
+    (validation + initial + the SSE-estimated minimum sample) all come from
+    one combined :meth:`CsvRowStream.scan` pass; imputation then streams
+    chunk-by-chunk into ``output_path``.  Exactly two passes touch the
+    input, total.
+
+    ``input_path`` may be a ready-made :class:`CsvRowStream` (``chunk_size``
+    is then ignored), e.g. to reuse a configured stream or to instrument
+    passes in tests.
     """
     import time as _time
 
@@ -184,27 +239,37 @@ def impute_csv_streaming(
 
     if scis_config is None:
         scis_config = ScisConfig()
-    stream = CsvRowStream(input_path, chunk_size=chunk_size)
+    if isinstance(input_path, CsvRowStream):
+        stream = input_path
+    else:
+        stream = CsvRowStream(input_path, chunk_size=chunk_size)
     rng = np.random.default_rng(seed)
 
-    minima, maxima = stream.observed_ranges()
-    normalizer = MinMaxNormalizer()
-    normalizer.minima = minima
-    normalizer.ranges = maxima - minima
-    total_rows = stream.count_rows()
-
-    # Train SCIS on a reservoir sample large enough to contain n* rows.
-    budget = min(
-        total_rows,
-        max(4 * (scis_config.initial_size + scis_config.validation_size), 2048),
+    # Pass 1: count + ranges + reservoir, combined.  The reservoir budget is
+    # capped below at however many rows exist, so oversizing it is free.
+    budget_cap = max(
+        4 * (scis_config.initial_size + scis_config.validation_size), 2048
     )
+    scan = stream.scan(sample_size=budget_cap, rng=rng)
+    total_rows = scan.rows
+    required = scis_config.initial_size + scis_config.validation_size
+    if total_rows < required:
+        raise ValueError(
+            f"{stream.path} has only {total_rows} data rows but SCIS needs at "
+            f"least initial_size + validation_size = {required} rows for its "
+            f"training split; lower ScisConfig.initial_size/validation_size "
+            f"or provide more data"
+        )
+    normalizer = MinMaxNormalizer()
+    normalizer.minima = scan.minima
+    normalizer.ranges = scan.maxima - scan.minima
+
     start = _time.perf_counter()
-    sample_rows = reservoir_sample(stream, budget, rng)
-    sample = IncompleteDataset(normalizer.transform(sample_rows), name="stream-sample")
+    sample = IncompleteDataset(normalizer.transform(scan.sample), name="stream-sample")
     result = SCIS(model, scis_config).fit_transform(sample)
     training_seconds = _time.perf_counter() - start
 
-    # Stream the imputation.
+    # Pass 2: stream the imputation.
     output_path = Path(output_path)
     noise_rng = np.random.default_rng(seed + 1)
     with output_path.open("w", newline="") as handle:

@@ -9,12 +9,20 @@ over the transport polytope with uniform marginals.  The log-domain update
 is numerically stable for the small regularisation weights probed by the
 ablation benches, and the returned plan is exact to ``tol`` in marginal
 violation.
+
+The solver exposes its dual potentials so callers can warm-start: a DIM
+training loop solves a near-identical problem for the same batch every
+epoch, and reusing the previous epoch's ``(f, g)`` as the initial point
+cuts the iteration count by an order of magnitude once training settles
+(the same trick Muzellec et al. use for OT imputation).  Warm starts are
+a pure acceleration — the fixed point, and therefore the returned plan,
+is still converged to ``tol``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy.special import logsumexp
@@ -46,6 +54,11 @@ class SinkhornResult:
         run this is below ``tol``; on a non-converged run it tells a
         near-miss (violation barely above ``tol``) apart from genuine
         divergence — previously the result only said ``converged=False``.
+    f, g:
+        Final dual potentials (scaled by 1/λ), satisfying
+        ``plan = exp(f[:, None] + g[None, :] - C/λ)``.  Feed them back as
+        ``init=(f, g)`` to warm-start a subsequent solve of a nearby
+        problem.
     """
 
     plan: np.ndarray
@@ -54,6 +67,8 @@ class SinkhornResult:
     iterations: int
     converged: bool
     marginal_violation: float
+    f: np.ndarray
+    g: np.ndarray
 
 
 def entropy(plan: np.ndarray, eps: float = 1e-300) -> float:
@@ -68,6 +83,31 @@ def regularized_ot_value(plan: np.ndarray, cost: np.ndarray, reg: float) -> floa
     return float((plan * cost).sum()) + reg * entropy(plan)
 
 
+def _validate_marginal(name: str, weights: np.ndarray, expected: int) -> np.ndarray:
+    """A marginal must be a strictly positive, finite vector of the right size.
+
+    Zero or negative entries would flow through ``np.log`` into ``-inf``/NaN
+    potentials and could yield a NaN plan wrapped in a finite-looking
+    :class:`SinkhornResult`, so they are rejected up front with the offending
+    index named.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size != expected:
+        raise ValueError(
+            f"marginal {name!r} must be a 1-D vector of length {expected} "
+            f"matching the cost matrix, got shape {weights.shape}"
+        )
+    valid = np.isfinite(weights) & (weights > 0.0)
+    if not valid.all():
+        index = int(np.argmin(valid))
+        raise ValueError(
+            f"marginal {name!r} must be strictly positive and finite "
+            f"(the log-domain solver takes its log): {name}[{index}] = "
+            f"{weights[index]}"
+        )
+    return weights
+
+
 def sinkhorn(
     cost: np.ndarray,
     reg: float,
@@ -75,6 +115,7 @@ def sinkhorn(
     b: Optional[np.ndarray] = None,
     max_iter: int = 500,
     tol: float = 1e-9,
+    init: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> SinkhornResult:
     """Solve entropic OT in the log domain.
 
@@ -85,29 +126,48 @@ def sinkhorn(
     reg:
         Entropic regularisation weight ``λ > 0``.
     a, b:
-        Marginals (default uniform).
+        Marginals (default uniform).  Must be strictly positive and match
+        the cost matrix's shape; degenerate marginals raise ``ValueError``.
     max_iter:
         Maximum number of dual sweeps.
     tol:
         L1 marginal-violation tolerance for convergence.
+    init:
+        Optional ``(f, g)`` dual potentials (e.g. from a previous
+        :class:`SinkhornResult` on a nearby problem) used as the starting
+        point instead of zeros.  The solver still iterates to ``tol``, so
+        a warm start changes the iteration count, not the answer.
     """
     if reg <= 0.0:
         raise ValueError(f"entropic regulariser must be positive, got {reg}")
     cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be a 2-D matrix, got shape {cost.shape}")
     n, m = cost.shape
     if a is None:
         a = np.full(n, 1.0 / n)
     if b is None:
         b = np.full(m, 1.0 / m)
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = _validate_marginal("a", a, n)
+    b = _validate_marginal("b", b, m)
     log_a = np.log(a)
     log_b = np.log(b)
 
     # Dual potentials (scaled by 1/reg): plan = exp(f + g - C/reg).
     neg_cost = -cost / reg
-    f = np.zeros(n)
-    g = np.zeros(m)
+    warm_started = init is not None
+    if warm_started:
+        f0, g0 = init
+        f = np.asarray(f0, dtype=np.float64).copy()
+        g = np.asarray(g0, dtype=np.float64).copy()
+        if f.shape != (n,) or g.shape != (m,):
+            raise ValueError(
+                f"init duals must have shapes ({n},) and ({m},), got "
+                f"{f.shape} and {g.shape}"
+            )
+    else:
+        f = np.zeros(n)
+        g = np.zeros(m)
     converged = False
     iteration = 0
     for iteration in range(1, max_iter + 1):
@@ -129,6 +189,9 @@ def sinkhorn(
         if not converged:
             recorder.inc("sinkhorn.nonconverged")
         recorder.observe("sinkhorn.iterations", float(iteration))
+        if warm_started:
+            recorder.inc("sinkhorn.warm_starts")
+            recorder.observe("sinkhorn.warm_iterations", float(iteration))
         recorder.observe("sinkhorn.marginal_violation", violation)
         recorder.emit(
             "sinkhorn.solve",
@@ -138,6 +201,7 @@ def sinkhorn(
             iterations=iteration,
             converged=converged,
             marginal_violation=violation,
+            warm_started=warm_started,
         )
     return SinkhornResult(
         plan=plan,
@@ -146,4 +210,6 @@ def sinkhorn(
         iterations=iteration,
         converged=converged,
         marginal_violation=violation,
+        f=f,
+        g=g,
     )

@@ -82,6 +82,94 @@ class TestDimTraining:
         assert report.steps == 2
 
 
+class TestSinkhornCaching:
+    """The acceleration layer must not change what DIM learns."""
+
+    def _config(self, **overrides):
+        base = dict(
+            epochs=3,
+            batch_size=64,
+            use_adversarial=False,
+            reg=1.0,
+            sinkhorn_tol=1e-9,
+            sinkhorn_max_iter=2000,
+            fixed_batch_order=True,  # identical batch sequences in both runs
+        )
+        base.update(overrides)
+        return DimConfig(**base)
+
+    def test_cached_epoch_means_match_uncached(self, case):
+        def run(cached):
+            config = self._config(
+                sinkhorn_warm_start=cached, sinkhorn_cache_self_terms=cached
+            )
+            model = GAINImputer(seed=0)
+            return DIM(config).train(model, case.train, np.random.default_rng(7))
+
+        uncached = run(False)
+        cached = run(True)
+        steps_per_epoch = uncached.steps // uncached.epochs
+        off = np.array(uncached.ms_losses).reshape(uncached.epochs, steps_per_epoch)
+        on = np.array(cached.ms_losses).reshape(cached.epochs, steps_per_epoch)
+        assert np.abs(off.mean(axis=1) - on.mean(axis=1)).max() < 1e-6
+
+    def test_selfterm_cache_and_warm_starts_counted(self, case):
+        from repro.obs import recording
+
+        model = GAINImputer(seed=0)
+        with recording() as rec:
+            report = DIM(self._config()).train(
+                model, case.train, np.random.default_rng(0)
+            )
+        counters = rec.metrics.snapshot()["counters"]
+        steps_per_epoch = report.steps // report.epochs
+        # The data self-term is solved once per batch, then cached.
+        assert counters["sinkhorn.selfterm_cache_hits"] == steps_per_epoch * (
+            report.epochs - 1
+        )
+        # From epoch 2 on, the cross and generated-self solves warm-start.
+        assert counters["sinkhorn.warm_starts"] == 2 * steps_per_epoch * (
+            report.epochs - 1
+        )
+
+    def test_warm_start_reduces_iterations_after_first_epoch(self, case):
+        from repro.obs import recording
+
+        def iterations_per_epoch(cached):
+            config = self._config(
+                sinkhorn_warm_start=cached, sinkhorn_cache_self_terms=cached
+            )
+            model = GAINImputer(seed=0)
+            with recording() as rec:
+                DIM(config).train(model, case.train, np.random.default_rng(0))
+            per_epoch, epoch = {}, 0
+            for event in rec.events:
+                if event.name == "sinkhorn.solve":
+                    per_epoch[epoch] = per_epoch.get(epoch, 0) + event.fields["iterations"]
+                elif event.name == "dim.epoch":
+                    epoch += 1
+            return per_epoch
+
+        cold = iterations_per_epoch(False)
+        warm = iterations_per_epoch(True)
+        assert sum(warm[e] for e in warm if e >= 1) < sum(
+            cold[e] for e in cold if e >= 1
+        )
+
+    def test_caches_reset_between_training_runs(self, case, rng):
+        from repro.data import IncompleteDataset
+
+        dim = DIM(self._config(epochs=1))
+        dim.train(GAINImputer(seed=0), case.train, rng)
+        first_keys = set(dim._loss._self_terms)
+        assert first_keys
+        other = IncompleteDataset(case.train.values[:65], name="other")
+        dim.train(GAINImputer(seed=1), other, rng)
+        # Stale keys from the first dataset must not survive into the second:
+        # 65 rows → one 64-row batch plus a skipped singleton → exactly 1 key.
+        assert len(dim._loss._self_terms) == 1
+
+
 class TestDimImputer:
     def test_full_data_dim_wrapper(self, case, rng):
         from repro.core import DimConfig, DimImputer

@@ -132,10 +132,14 @@ class TestMinimumSizeSearch:
             sse.pass_probability(100, 80, 400, 6)
 
     def test_n_star_within_bounds(self, trained, rng):
+        model, _, _ = trained
         sse = self._prepared(trained, rng, error_bound=0.02)
+        theta = flatten_parameters(model.generator).copy()
         result = sse.estimate_minimum_size(80, 400)
         assert 80 <= result.n_star <= 400
         assert result.sample_rate == result.n_star / 400
+        # The search perturbs the generator internally but must leave θ₀ intact.
+        assert np.array_equal(flatten_parameters(model.generator), theta)
 
     def test_huge_error_bound_returns_initial(self, trained, rng):
         sse = self._prepared(trained, rng, error_bound=10.0)
@@ -155,11 +159,15 @@ class TestMinimumSizeSearch:
         assert n_strict >= n_loose
 
     def test_pass_probability_monotone_in_n(self, trained, rng):
+        model, _, _ = trained
         sse = self._prepared(trained, rng, error_bound=0.02)
+        theta = flatten_parameters(model.generator).copy()
         # Average several estimates to damp sampling noise.
         small = np.mean([sse.pass_probability(100, 80, 4000, 6) for _ in range(5)])
         large = np.mean([sse.pass_probability(3500, 80, 4000, 6) for _ in range(5)])
         assert large >= small
+        # Each call samples k perturbed θ's; θ₀ must be restored afterwards.
+        assert np.array_equal(flatten_parameters(model.generator), theta)
 
     def test_result_records_evaluations(self, trained, rng):
         sse = self._prepared(trained, rng, error_bound=0.02)

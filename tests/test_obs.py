@@ -328,6 +328,36 @@ class TestSinkhornResultViolation:
         assert more.marginal_violation < result.marginal_violation
 
 
+class TestSinkhornCacheObservability:
+    def test_warm_start_counters_surface_in_summary(self):
+        cost = np.random.default_rng(3).random((8, 8))
+        with recording() as rec:
+            cold = sinkhorn(cost, reg=1.0)
+            sinkhorn(cost, reg=1.0, init=(cold.f, cold.g))
+        snap = rec.metrics.snapshot()
+        assert snap["counters"]["sinkhorn.warm_starts"] == 1
+        assert snap["histograms"]["sinkhorn.warm_iterations"]["count"] == 1
+        solves = [e for e in rec.events if e.name == "sinkhorn.solve"]
+        assert [e.fields["warm_started"] for e in solves] == [False, True]
+        text = summarize_trace(rec)
+        assert "sinkhorn.warm_starts" in text
+
+    def test_selfterm_cache_hits_surface_in_summary(self):
+        from repro.ot import MaskingSinkhornLoss
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(0)
+        x = rng.random((12, 3))
+        mask = (rng.random((12, 3)) > 0.3).astype(np.float64)
+        loss = MaskingSinkhornLoss(reg=1.0)
+        with recording() as rec:
+            loss(Tensor(x), x, mask, batch_key="k")
+            loss(Tensor(x), x, mask, batch_key="k")
+        snap = rec.metrics.snapshot()
+        assert snap["counters"]["sinkhorn.selfterm_cache_hits"] == 1
+        assert "sinkhorn.selfterm_cache_hits" in summarize_trace(rec)
+
+
 class TestAdamTiming:
     def test_step_timing_recorded_only_when_enabled(self):
         from repro.nn import Parameter

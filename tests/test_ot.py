@@ -144,6 +144,102 @@ class TestSinkhorn:
         assert entropy(plan) == pytest.approx(2 * 0.5 * np.log(0.5))
 
 
+class TestMarginalValidation:
+    """Degenerate marginals must raise instead of silently producing NaNs."""
+
+    def test_zero_entry_raises_with_index(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        a = np.full(x.shape[0], 1.0 / x.shape[0])
+        a[2] = 0.0
+        with pytest.raises(ValueError, match=r"a\[2\]"):
+            sinkhorn(cost, reg=0.5, a=a)
+
+    def test_negative_entry_raises_with_index(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        b = np.full(y.shape[0], 1.0 / y.shape[0])
+        b[0] = -0.1
+        with pytest.raises(ValueError, match=r"b\[0\]"):
+            sinkhorn(cost, reg=0.5, b=b)
+
+    def test_nan_entry_raises(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        a = np.full(x.shape[0], 1.0 / x.shape[0])
+        a[1] = np.nan
+        with pytest.raises(ValueError, match=r"a\[1\]"):
+            sinkhorn(cost, reg=0.5, a=a)
+
+    def test_wrong_length_raises(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        with pytest.raises(ValueError, match="length"):
+            sinkhorn(cost, reg=0.5, a=np.full(x.shape[0] + 1, 0.1))
+        with pytest.raises(ValueError, match="length"):
+            sinkhorn(cost, reg=0.5, b=np.full(y.shape[0] - 1, 0.2))
+
+    def test_valid_marginals_still_accepted(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        a = np.linspace(1.0, 2.0, x.shape[0])
+        a /= a.sum()
+        result = sinkhorn(cost, reg=0.5, a=a)
+        assert np.allclose(result.plan.sum(axis=1), a, atol=1e-7)
+
+
+class TestWarmStart:
+    def test_result_carries_consistent_duals(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        result = sinkhorn(cost, reg=0.5)
+        rebuilt = np.exp(-cost / 0.5 + result.f[:, None] + result.g[None, :])
+        assert np.allclose(rebuilt, result.plan, atol=1e-12)
+
+    def test_warm_and_cold_converge_to_same_plan(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        cold = sinkhorn(cost, reg=0.5, tol=1e-11)
+        # Perturb the problem slightly, as one DIM epoch does, and solve it
+        # both cold and warm-started from the previous duals.
+        shifted = squared_euclidean_cost(x + 0.01, y)
+        cold_next = sinkhorn(shifted, reg=0.5, tol=1e-11)
+        warm_next = sinkhorn(shifted, reg=0.5, tol=1e-11, init=(cold.f, cold.g))
+        assert warm_next.converged
+        assert np.allclose(warm_next.plan, cold_next.plan, atol=1e-9)
+
+    def test_warm_start_on_same_problem_is_cheaper(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        cold = sinkhorn(cost, reg=0.5, tol=1e-9, max_iter=5000)
+        assert cold.converged
+        warm = sinkhorn(cost, reg=0.5, tol=1e-9, max_iter=5000, init=(cold.f, cold.g))
+        assert warm.iterations <= cold.iterations
+        assert warm.iterations <= 2  # starting at the fixed point
+
+    def test_bad_init_shape_raises(self, clouds):
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        with pytest.raises(ValueError, match="init"):
+            sinkhorn(cost, reg=0.5, init=(np.zeros(3), np.zeros(y.shape[0])))
+
+    def test_warm_start_counters_recorded(self, clouds):
+        from repro.obs import recording
+
+        x, y = clouds
+        cost = squared_euclidean_cost(x, y)
+        with recording() as rec:
+            cold = sinkhorn(cost, reg=0.5)
+            sinkhorn(cost, reg=0.5, init=(cold.f, cold.g))
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters["sinkhorn.solves"] == 2
+        assert counters["sinkhorn.warm_starts"] == 1
+        histograms = rec.metrics.snapshot()["histograms"]
+        assert histograms["sinkhorn.warm_iterations"]["count"] == 1
+        solve_events = [e for e in rec.events if e.name == "sinkhorn.solve"]
+        assert [e.fields["warm_started"] for e in solve_events] == [False, True]
+
+
 class TestSinkhornDivergence:
     def test_zero_on_identical_clouds(self, clouds):
         x, _ = clouds
@@ -244,6 +340,32 @@ class TestMaskingSinkhornLoss:
         debiased = MaskingSinkhornLoss(reg=0.5, debias=True)(Tensor(x), x, mask).item()
         assert abs(debiased) < 1e-6
         assert abs(biased) > abs(debiased)
+
+    def test_batch_key_caching_matches_keyless(self, rng):
+        """Warm-started + cached calls agree with cold keyless calls."""
+        x = rng.normal(size=(8, 3))
+        mask = (rng.random(x.shape) > 0.3).astype(float)
+        cold_fn = MaskingSinkhornLoss(
+            reg=0.5, max_iter=3000, tol=1e-11, warm_start=False, cache_self_terms=False
+        )
+        cached_fn = MaskingSinkhornLoss(reg=0.5, max_iter=3000, tol=1e-11)
+        for step in range(3):
+            x_bar = x + 0.1 * step  # the generator's output drifts per epoch
+            cold = cold_fn(Tensor(x_bar), x, mask).item()
+            cached = cached_fn(Tensor(x_bar), x, mask, batch_key="batch-0").item()
+            # Warm-started solves agree up to solver tolerance (amplified by
+            # the plan→value map), not bit-for-bit.
+            assert cached == pytest.approx(cold, abs=1e-7)
+        assert "batch-0" in cached_fn._self_terms
+
+    def test_reset_caches_clears_stores(self, rng):
+        x = rng.normal(size=(6, 2))
+        mask = np.ones_like(x)
+        loss_fn = MaskingSinkhornLoss(reg=0.5)
+        loss_fn(Tensor(x), x, mask, batch_key="k")
+        assert loss_fn._duals and loss_fn._self_terms
+        loss_fn.reset_caches()
+        assert not loss_fn._duals and not loss_fn._self_terms
 
     def test_gradient_descent_reduces_divergence(self, rng):
         """The paper's core claim: MS gradients are usable everywhere."""

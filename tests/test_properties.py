@@ -96,6 +96,33 @@ class TestDataProperties:
         back = norm.inverse_transform(transformed.values)
         assert np.allclose(back, data, atol=1e-8)
 
+    @given(
+        matrices(
+            min_rows=3,
+            max_rows=10,
+            min_cols=3,
+            elements=st.floats(
+                min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        st.floats(0.0, 0.6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_normalizer_roundtrip_observed_cells(self, data, rate):
+        # Degenerate columns are part of the contract: a constant column and
+        # an entirely-missing column must both survive the round trip.
+        rng = np.random.default_rng(2)
+        values = data.copy()
+        values[rng.random(values.shape) < rate] = np.nan
+        values[:, 0] = data[0, 0]  # constant column
+        values[:, 1] = np.nan  # all-NaN column
+        ds = IncompleteDataset(values)
+        norm = MinMaxNormalizer()
+        back = norm.inverse_transform(norm.fit_transform(ds).values)
+        observed = ds.mask == 1.0
+        assert np.allclose(back[observed], values[observed], atol=1e-9)
+        assert np.array_equal(np.isnan(back), ds.mask == 0.0)
+
     @given(matrices(min_rows=2, max_rows=8))
     @settings(max_examples=25, deadline=None)
     def test_impute_equation_idempotent_on_complete(self, data):

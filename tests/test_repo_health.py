@@ -82,6 +82,15 @@ class TestObsDocConsistency:
         api_text = (REPO_ROOT / "docs" / "api.md").read_text()
         assert "repro obs" in api_text
 
+    def test_sinkhorn_cache_metrics_documented(self):
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "sinkhorn.warm_starts",
+            "sinkhorn.selfterm_cache_hits",
+            "sinkhorn.warm_iterations",
+        ):
+            assert name in obs_text, f"docs/observability.md misses {name}"
+
 
 class TestRegistryConsistency:
     def test_registry_names_match_imputer_name_attribute(self):

@@ -115,6 +115,70 @@ class TestReservoirSample:
             reservoir_sample(CsvRowStream(csv_file[0]), 0, rng)
 
 
+class TestScan:
+    def test_scan_matches_separate_passes(self, csv_file):
+        path, dataset = csv_file
+        result = CsvRowStream(path, chunk_size=97).scan()
+        assert result.rows == dataset.n_samples
+        with np.errstate(invalid="ignore"):
+            assert np.allclose(result.minima, np.nanmin(dataset.values, axis=0))
+            assert np.allclose(result.maxima, np.nanmax(dataset.values, axis=0))
+        assert result.sample is None
+
+    def test_scan_reservoir_matches_algorithm_r_reference(self, csv_file):
+        path, _ = csv_file
+        size = 100
+        scanned = CsvRowStream(path, chunk_size=64).scan(
+            sample_size=size, rng=np.random.default_rng(42)
+        )
+        # Inline algorithm R over the same rows with the same generator state.
+        ref_rng = np.random.default_rng(42)
+        reservoir, seen = [], 0
+        for values, _ in CsvRowStream(path, chunk_size=64).chunks():
+            for row in values:
+                seen += 1
+                if len(reservoir) < size:
+                    reservoir.append(row)
+                else:
+                    slot = ref_rng.integers(0, seen)
+                    if slot < size:
+                        reservoir[slot] = row
+        assert np.allclose(
+            np.nan_to_num(scanned.sample), np.nan_to_num(np.stack(reservoir))
+        )
+
+    def test_oversized_reservoir_keeps_every_row(self, csv_file, rng):
+        path, dataset = csv_file
+        result = CsvRowStream(path).scan(sample_size=10_000, rng=rng)
+        assert result.sample.shape == (dataset.n_samples, dataset.n_features)
+
+    def test_sample_requires_rng(self, csv_file):
+        with pytest.raises(ValueError, match="rng"):
+            CsvRowStream(csv_file[0]).scan(sample_size=10)
+
+    def test_invalid_sample_size(self, csv_file, rng):
+        with pytest.raises(ValueError):
+            CsvRowStream(csv_file[0]).scan(sample_size=0, rng=rng)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            CsvRowStream(path).scan()
+
+
+class CountingStream(CsvRowStream):
+    """Test double that counts how many times the file is re-read."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.passes = 0
+
+    def chunks(self):
+        self.passes += 1
+        yield from super().chunks()
+
+
 class TestStreamingImputation:
     def test_end_to_end(self, csv_file, tmp_path):
         path, dataset = csv_file
@@ -139,6 +203,51 @@ class TestStreamingImputation:
         assert np.allclose(
             imputed.values[observed], dataset.values[observed], atol=1e-6
         )
+
+    def _config(self):
+        return ScisConfig(
+            initial_size=60,
+            validation_size=60,
+            error_bound=0.05,
+            dim=DimConfig(epochs=2),
+            seed=0,
+        )
+
+    def test_exactly_two_passes(self, csv_file, tmp_path):
+        path, _ = csv_file
+        stream = CountingStream(path, chunk_size=128)
+        impute_csv_streaming(
+            stream, tmp_path / "out.csv", GAINImputer(epochs=2, seed=0), self._config()
+        )
+        # One combined pre-training scan + one imputation pass, nothing else.
+        assert stream.passes == 2
+
+    def test_stream_instance_matches_path_input(self, csv_file, tmp_path):
+        path, _ = csv_file
+        out_path = tmp_path / "by_path.csv"
+        out_stream = tmp_path / "by_stream.csv"
+        impute_csv_streaming(
+            path, out_path, GAINImputer(epochs=2, seed=0), self._config(), chunk_size=128
+        )
+        impute_csv_streaming(
+            CsvRowStream(path, chunk_size=128),
+            out_stream,
+            GAINImputer(epochs=2, seed=0),
+            self._config(),
+        )
+        assert out_path.read_bytes() == out_stream.read_bytes()
+
+    def test_small_file_raises_with_row_count_and_minimum(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["a", "b"])
+            for i in range(50):
+                writer.writerow([i, i + 1])
+        with pytest.raises(ValueError, match=r"only 50 data rows.*120"):
+            impute_csv_streaming(
+                path, tmp_path / "out.csv", GAINImputer(epochs=2, seed=0), self._config()
+            )
 
 
 class TestMultipleImputation:
