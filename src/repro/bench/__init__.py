@@ -1,7 +1,23 @@
 """Benchmark harness: experiment runner and table renderers."""
 
+from .baselines import (
+    MetricDelta,
+    diff_baselines,
+    format_diff,
+    load_baseline,
+    snapshot_from_results,
+    snapshot_from_trace,
+    write_baseline,
+)
 from .charts import ascii_chart, sparkline
-from .runner import BenchCase, MethodResult, prepare_case, run_comparison, run_method
+from .runner import (
+    BenchCase,
+    MethodResult,
+    prepare_case,
+    run_comparison,
+    run_method,
+    run_smoke_bench,
+)
 from .tuning import TuningResult, grid_search
 from .tables import format_series, format_table, results_to_json, save_results
 
@@ -11,6 +27,14 @@ __all__ = [
     "prepare_case",
     "run_method",
     "run_comparison",
+    "run_smoke_bench",
+    "MetricDelta",
+    "snapshot_from_results",
+    "snapshot_from_trace",
+    "write_baseline",
+    "load_baseline",
+    "diff_baselines",
+    "format_diff",
     "format_table",
     "ascii_chart",
     "sparkline",

@@ -16,12 +16,19 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core import SCIS
-from ..core.dim import DimImputer
+from ..core.dim import DimConfig, DimImputer
 from ..data import HoldoutSplit, IncompleteDataset, MinMaxNormalizer, generate, holdout_split
 from ..models.base import Imputer
 from ..obs import get_recorder, trace
 
-__all__ = ["MethodResult", "BenchCase", "prepare_case", "run_method", "run_comparison"]
+__all__ = [
+    "MethodResult",
+    "BenchCase",
+    "prepare_case",
+    "run_method",
+    "run_comparison",
+    "run_smoke_bench",
+]
 
 
 @dataclass
@@ -163,6 +170,33 @@ def run_method(
             timed_out=False,
         )
     return aggregated
+
+
+def run_smoke_bench(
+    n_samples: int = 96, epochs: int = 2, seed: int = 0
+) -> List[MethodResult]:
+    """Tiny fixed bench used for regression gating (seconds, not minutes).
+
+    One small synthetic dataset, three methods spanning the stack's layers:
+    ``mean`` (data plumbing only), ``knn`` (classical numerics), and a
+    short ``dim-gain`` run (autodiff + Sinkhorn + optimiser hot paths).
+    Run it under :func:`repro.obs.recording` to also capture the
+    ``sinkhorn.iterations`` / epoch-timing metrics the baseline snapshots.
+    """
+    from ..models import GAINImputer, KNNImputer, MeanImputer
+
+    case = prepare_case("trial", n_samples=n_samples, seed=seed)
+    dim_config = DimConfig(
+        epochs=epochs, batch_size=32, sinkhorn_max_iter=50, use_adversarial=False
+    )
+    factories: Dict[str, Callable[[int], object]] = {
+        "mean": lambda s: MeanImputer(),
+        "knn": lambda s: KNNImputer(),
+        "dim-gain": lambda s: DimImputer(
+            GAINImputer(epochs=epochs, seed=s), config=dim_config, seed=s
+        ),
+    }
+    return run_comparison([case], factories, n_seeds=1)
 
 
 def run_comparison(

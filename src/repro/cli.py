@@ -15,7 +15,18 @@ Four subcommands cover the everyday workflows:
 
 ``repro obs``
     Summarize or dump a telemetry trace captured with ``--trace`` (on
-    ``impute``/``evaluate``) or with :func:`repro.obs.recording`.
+    ``impute``/``evaluate``) or with :func:`repro.obs.recording`, or
+    ``diff`` a run against a persisted bench baseline and flag metric
+    regressions.
+
+``repro profile``
+    Render the per-op autodiff profile recorded in a trace (run
+    ``impute``/``evaluate`` with ``--trace --profile``) as a top-k table
+    or nested flame JSON.
+
+``repro bench``
+    Run the fixed smoke bench and write a ``BENCH_<name>.json`` baseline
+    for later ``repro obs diff`` gating.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -43,7 +54,11 @@ from .models import GenerativeImputer, make_imputer
 from .models.registry import REGISTRY
 from .obs import (
     events_to_csv,
+    flame_from_profile,
+    format_profile_table,
     load_trace,
+    profile_from_trace,
+    profiling,
     recording,
     summarize_trace,
     write_json_trace,
@@ -84,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record training telemetry and write a JSON trace to PATH",
     )
+    impute.add_argument(
+        "--profile",
+        action="store_true",
+        help="also record per-op autodiff timings into the trace "
+        "(requires --trace; render with `repro profile`)",
+    )
 
     datagen = sub.add_parser("datagen", help="generate a synthetic COVID-like CSV")
     datagen.add_argument("name", choices=["trial", "emergency", "response", "search", "weather", "surveil"])
@@ -106,10 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record training telemetry and write a JSON trace to PATH",
     )
+    evaluate.add_argument(
+        "--profile",
+        action="store_true",
+        help="also record per-op autodiff timings into the trace "
+        "(requires --trace; render with `repro profile`)",
+    )
 
     obs = sub.add_parser("obs", help="inspect a telemetry trace (JSON)")
-    obs.add_argument("action", choices=["summarize", "dump"])
-    obs.add_argument("trace", help="trace JSON written by --trace or write_json_trace")
+    obs.add_argument("action", choices=["summarize", "dump", "diff"])
+    obs.add_argument(
+        "trace",
+        help="trace JSON written by --trace / write_json_trace, or (for "
+        "diff) the BENCH_<name>.json baseline to compare against",
+    )
+    obs.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="diff only: the candidate run — a trace JSON or another baseline",
+    )
     obs.add_argument(
         "--format",
         dest="fmt",
@@ -123,6 +160,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict dump to one event name (e.g. dim.epoch)",
     )
     obs.add_argument("--output", default=None, help="write to file instead of stdout")
+    obs.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="diff only: max tolerated relative increase for "
+        "machine-independent metrics (default: 0.25)",
+    )
+    obs.add_argument(
+        "--time-threshold",
+        type=float,
+        default=0.75,
+        help="diff only: max tolerated relative increase for wall-clock "
+        "metrics (default: 0.75; pass a huge value to ignore timings)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="render the per-op autodiff profile from a trace"
+    )
+    profile.add_argument(
+        "trace", help="trace JSON recorded with --trace --profile"
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, help="rows in the table (default: 15)"
+    )
+    profile.add_argument(
+        "--flame",
+        metavar="PATH",
+        default=None,
+        help="also write the nested flame-style JSON to PATH",
+    )
+
+    bench = sub.add_parser("bench", help="run a bench and snapshot a baseline")
+    bench.add_argument("action", choices=["smoke"])
+    bench.add_argument(
+        "--out",
+        default="BENCH_smoke.json",
+        help="baseline JSON to write (default: BENCH_smoke.json)",
+    )
+    bench.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also write the full telemetry trace to PATH",
+    )
+    bench.add_argument("--samples", type=int, default=96)
+    bench.add_argument("--epochs", type=int, default=2)
+    bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -157,6 +241,30 @@ def _impute(runner, dataset: IncompleteDataset):
     return runner.fit_transform(dataset), 1.0
 
 
+def _traced_impute(args, runner, dataset):
+    """Run ``_impute`` under the requested telemetry/profiling wrappers."""
+    if args.trace is None:
+        if args.profile:
+            print(
+                "repro: --profile needs --trace (the profile is stored in "
+                "the trace)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return _impute(runner, dataset)
+    with recording() as rec:
+        if args.profile:
+            # profiling() folds the per-op aggregates into the recorder as
+            # profiler.* events on exit — while the recording is still open.
+            with profiling():
+                result = _impute(runner, dataset)
+        else:
+            result = _impute(runner, dataset)
+    write_json_trace(rec, args.trace)
+    print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    return result
+
+
 def _cmd_impute(args) -> int:
     dataset = read_csv(args.input)
     print(f"loaded {dataset}", file=sys.stderr)
@@ -164,13 +272,7 @@ def _cmd_impute(args) -> int:
     normalized = normalizer.fit_transform(dataset)
     runner = _make_runner(args)
     start = time.perf_counter()
-    if args.trace is not None:
-        with recording() as rec:
-            imputed, sample_rate = _impute(runner, normalized)
-        write_json_trace(rec, args.trace)
-        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
-    else:
-        imputed, sample_rate = _impute(runner, normalized)
+    imputed, sample_rate = _traced_impute(args, runner, normalized)
     elapsed = time.perf_counter() - start
     restored = normalizer.inverse_transform(imputed)
     out = IncompleteDataset(
@@ -203,13 +305,7 @@ def _cmd_evaluate(args) -> int:
     holdout = holdout_split(normalized, args.holdout, np.random.default_rng(args.seed))
     runner = _make_runner(args)
     start = time.perf_counter()
-    if args.trace is not None:
-        with recording() as rec:
-            imputed, sample_rate = _impute(runner, holdout.train)
-        write_json_trace(rec, args.trace)
-        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
-    else:
-        imputed, sample_rate = _impute(runner, holdout.train)
+    imputed, sample_rate = _traced_impute(args, runner, holdout.train)
     elapsed = time.perf_counter() - start
     method = f"scis-{args.method}" if args.scis else args.method
     print(f"method:      {method}")
@@ -221,10 +317,15 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    if args.action == "diff":
+        return _obs_diff(args)
     try:
         trace = load_trace(args.trace)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"repro obs: {exc}")
+        # Missing or corrupt traces are a user-input problem, not a crash:
+        # one line on stderr, exit code 2.
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
     if args.action == "summarize":
         text = summarize_trace(trace)
     elif args.fmt == "csv":
@@ -250,6 +351,86 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _obs_diff(args) -> int:
+    """``repro obs diff <baseline> <trace-or-baseline>``: flag regressions."""
+    from .bench.baselines import diff_baselines, format_diff, load_baseline
+
+    if args.candidate is None:
+        print(
+            "repro obs: diff needs two files: <baseline> <trace-or-baseline>",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_baseline(args.trace)
+        candidate = load_baseline(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_baselines(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        time_threshold=args.time_threshold,
+    )
+    text = format_diff(deltas)
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote diff -> {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 1 if any(d.regressed for d in deltas) else 0
+
+
+def _cmd_profile(args) -> int:
+    try:
+        trace = load_trace(args.trace)
+        profile = profile_from_trace(trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    if args.flame is not None:
+        import json
+
+        with open(args.flame, "w") as handle:
+            json.dump(flame_from_profile(profile), handle, indent=2)
+        print(f"wrote flame JSON -> {args.flame}", file=sys.stderr)
+    print(format_profile_table(profile, top=args.top))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import run_smoke_bench
+    from .bench.baselines import (
+        snapshot_from_results,
+        snapshot_from_trace,
+        write_baseline,
+    )
+    from .obs import trace_to_dict
+
+    start = time.perf_counter()
+    with recording() as rec:
+        results = run_smoke_bench(
+            n_samples=args.samples, epochs=args.epochs, seed=args.seed
+        )
+    trace = trace_to_dict(rec)
+    baseline = snapshot_from_results(results, name=args.action)
+    # The trace adds the solver/loop metrics bench aggregates can't see.
+    for key, value in snapshot_from_trace(trace, name=args.action)["metrics"].items():
+        baseline["metrics"].setdefault(key, value)
+    write_baseline(baseline, args.out)
+    if args.trace is not None:
+        write_json_trace(trace, args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    print(
+        f"smoke bench: {len(results)} runs in {time.perf_counter() - start:.1f}s, "
+        f"{len(baseline['metrics'])} metrics -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: dispatch to the selected subcommand, return exit code."""
     args = build_parser().parse_args(argv)
@@ -258,6 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datagen": _cmd_datagen,
         "evaluate": _cmd_evaluate,
         "obs": _cmd_obs,
+        "profile": _cmd_profile,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -26,7 +26,7 @@ from ..data.batches import iterate_batches
 from ..data.dataset import IncompleteDataset
 from ..models.base import GenerativeImputer
 from ..nn import masked_mse_loss
-from ..obs import get_recorder, trace
+from ..obs import HealthMonitor, get_recorder, trace
 from ..optim import Adam
 from ..ot import MaskingSinkhornLoss
 from ..tensor import Tensor
@@ -51,6 +51,13 @@ class DimConfig:
     partition is drawn once and reused every epoch; set
     ``fixed_batch_order`` explicitly to decouple that choice (e.g. to
     compare cached vs uncached runs on identical batch sequences).
+
+    ``on_divergence`` is the numerical-health policy: every run is watched
+    by a :class:`repro.obs.HealthMonitor` (NaN/Inf losses, per-epoch
+    divergence/oscillation on the ``dim.epoch`` loss stream).  ``"warn"``
+    (default) records ``health.*`` events and the end-of-run verdict;
+    ``"halt"`` additionally stops training at the first detection with a
+    structured ``health.halt`` event and ``DimReport.halted = True``.
     """
 
     reg: float = 130.0
@@ -73,6 +80,9 @@ class DimConfig:
     # disables it.
     early_stopping_patience: Optional[int] = None
     early_stopping_min_delta: float = 1e-4
+    # Health-watchdog policy: "warn" records health.* events, "halt" also
+    # stops the loop at the first NaN/divergence/oscillation detection.
+    on_divergence: str = "warn"
 
 
 @dataclass
@@ -83,6 +93,8 @@ class DimReport:
     steps: int
     seconds: float
     ms_losses: List[float] = field(default_factory=list)
+    halted: bool = False
+    health_verdict: Optional[str] = None
 
     @property
     def final_ms_loss(self) -> Optional[float]:
@@ -138,6 +150,7 @@ class DIM:
         order = rng.permutation(dataset.n_samples) if fixed_order else None
 
         recorder = get_recorder()
+        monitor = HealthMonitor(policy=cfg.on_divergence)
         start = time.perf_counter()
         steps = 0
         report = DimReport(epochs=epochs, steps=0, seconds=0.0)
@@ -178,11 +191,21 @@ class DIM:
                     optimizer.zero_grad()
                     loss.backward()
                     optimizer.step()
-                    report.ms_losses.append(loss.item())
+                    loss_value = loss.item()
+                    monitor.check_finite("dim.step_loss", loss_value, step=steps)
+                    report.ms_losses.append(loss_value)
                     steps += 1
+                    if monitor.should_halt:
+                        break
+                if recorder.enabled:
+                    sq = 0.0
+                    for param in generator.parameters():
+                        if param.grad is not None:
+                            sq += float(np.sum(param.grad * param.grad))
+                    monitor.observe_gradient_norm("dim.generator", sq**0.5)
+            epoch_losses = report.ms_losses[epoch_start_step:]
+            ms_divergence = float(np.mean(epoch_losses)) if epoch_losses else None
             if recorder.enabled:
-                epoch_losses = report.ms_losses[epoch_start_step:]
-                ms_divergence = float(np.mean(epoch_losses)) if epoch_losses else None
                 recorder.inc("dim.epochs")
                 recorder.set_gauge("dim.epoch", epochs_run)
                 if ms_divergence is not None:
@@ -196,6 +219,10 @@ class DIM:
                     steps=steps - epoch_start_step,
                 )
             epochs_run += 1
+            if ms_divergence is not None:
+                monitor.observe_loss("dim.epoch", ms_divergence)
+            if monitor.should_halt:
+                break
             if cfg.early_stopping_patience is not None and steps > epoch_start_step:
                 epoch_loss = float(np.mean(report.ms_losses[epoch_start_step:]))
                 if epoch_loss < best_epoch_loss - cfg.early_stopping_min_delta:
@@ -214,6 +241,8 @@ class DIM:
         report.epochs = epochs_run
         report.steps = steps
         report.seconds = time.perf_counter() - start
+        report.halted = monitor.should_halt
+        report.health_verdict = monitor.finalize()
         if recorder.enabled:
             recorder.emit(
                 "dim.train",
@@ -221,6 +250,8 @@ class DIM:
                 steps=steps,
                 seconds=report.seconds,
                 final_ms_loss=report.final_ms_loss,
+                halted=report.halted,
+                health_verdict=report.health_verdict,
             )
         # mark the model usable through the plain Imputer API
         model._fitted = True

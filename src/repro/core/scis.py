@@ -161,6 +161,10 @@ class SCIS:
                 sample_rate=sse_result.n_star / n_total,
                 seconds_total=timings["total"],
                 retrained=retrain_report is not None,
+                initial_health=initial_report.health_verdict,
+                retrain_health=(
+                    retrain_report.health_verdict if retrain_report else None
+                ),
             )
 
         return ScisResult(

@@ -233,13 +233,24 @@ class SSE:
         eta_n = eta(cfg.reg, d, n_initial, n) * scale
         eta_big = (eta(cfg.reg, d, n, n_total) if n_total > n else 0.0) * scale
         passes = 0
+        recorder = get_recorder()
         try:
             for _ in range(cfg.n_parameter_samples):
                 theta_n = self._sample_theta(self._theta0, eta_n)
                 theta_big = self._sample_theta(theta_n, eta_big)
                 recon_n = self._reconstruct_validation(theta_n)
                 recon_big = self._reconstruct_validation(theta_big)
-                if self._masked_rms(recon_n, recon_big) <= cfg.error_bound:
+                distance = self._masked_rms(recon_n, recon_big)
+                if not np.isfinite(distance):
+                    # A NaN distance means a perturbed generator blew up;
+                    # count it as a fail but leave a health breadcrumb.
+                    if recorder.enabled:
+                        recorder.inc("health.issues")
+                        recorder.emit(
+                            "health.sse_nonfinite", n=n, distance=float(distance)
+                        )
+                    continue
+                if distance <= cfg.error_bound:
                     passes += 1
         finally:
             # One θ₀ restore per call instead of one per sampled pair.

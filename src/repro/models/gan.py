@@ -27,7 +27,7 @@ import numpy as np
 
 from ..data.dataset import IncompleteDataset
 from ..nn import Linear, Module, ReLU, Sequential, Sigmoid, masked_bce_loss
-from ..obs import get_recorder
+from ..obs import HealthMonitor, get_recorder
 from ..optim import Adam
 from ..tensor import Tensor, no_grad, ops
 from .base import GenerativeImputer
@@ -43,18 +43,28 @@ def _record_adversarial_step(model_name: str, stats: dict) -> None:
     recorder.observe(f"gan.{model_name}.g_loss", stats["g_loss"])
 
 
-def _record_fit_epoch(model_name: str, epoch: int, epoch_stats: list) -> None:
-    """Emit a per-epoch event for a native adversarial ``fit`` loop."""
-    recorder = get_recorder()
-    if not recorder.enabled or not epoch_stats:
+def _fit_epoch_telemetry(
+    monitor: HealthMonitor, model_name: str, epoch: int, epoch_stats: list
+) -> None:
+    """Per-epoch bookkeeping for a native adversarial ``fit`` loop.
+
+    Feeds the epoch-mean generator loss to the health watchdog (always)
+    and emits the ``gan.<model>.epoch`` event (recorder-guarded).
+    """
+    if not epoch_stats:
         return
-    recorder.emit(
-        f"gan.{model_name}.epoch",
-        epoch=epoch,
-        d_loss=float(np.mean([s["d_loss"] for s in epoch_stats])),
-        g_loss=float(np.mean([s["g_loss"] for s in epoch_stats])),
-        steps=len(epoch_stats),
-    )
+    d_loss = float(np.mean([s["d_loss"] for s in epoch_stats]))
+    g_loss = float(np.mean([s["g_loss"] for s in epoch_stats]))
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.emit(
+            f"gan.{model_name}.epoch",
+            epoch=epoch,
+            d_loss=d_loss,
+            g_loss=g_loss,
+            steps=len(epoch_stats),
+        )
+    monitor.observe_loss(f"gan.{model_name}.epoch", g_loss)
 
 __all__ = ["GAINImputer", "GINNImputer", "knn_graph_adjacency"]
 
@@ -77,6 +87,11 @@ class GAINImputer(GenerativeImputer):
     noise_scale:
         Scale of the uniform noise placed in missing slots (0.01 in the
         reference implementation).
+    on_divergence:
+        Numerical-health policy for the native ``fit`` loop: ``"warn"``
+        records ``health.*`` events, ``"halt"`` stops training at the first
+        NaN/divergence/oscillation detection.  The end-of-run verdict is
+        stored on :attr:`health_verdict`.
     """
 
     name = "gain"
@@ -91,6 +106,7 @@ class GAINImputer(GenerativeImputer):
         lr: float = 1e-3,
         noise_scale: float = 0.01,
         seed: int = 0,
+        on_divergence: str = "warn",
     ) -> None:
         super().__init__()
         self.hidden = hidden
@@ -101,6 +117,8 @@ class GAINImputer(GenerativeImputer):
         self.lr = lr
         self.noise_scale = noise_scale
         self.seed = seed
+        self.on_divergence = on_divergence
+        self.health_verdict: Optional[str] = None
         self.rng = np.random.default_rng(seed)
         self._generator: Optional[Module] = None
         self._discriminator: Optional[Module] = None
@@ -209,16 +227,23 @@ class GAINImputer(GenerativeImputer):
         self.build(dataset.n_features)
         values, mask = dataset.values, dataset.mask
         n = dataset.n_samples
-        record = get_recorder().enabled
+        monitor = HealthMonitor(policy=self.on_divergence)
         for epoch in range(self.epochs):
             order = self.rng.permutation(n)
             epoch_stats = []
             for start in range(0, n, self.batch_size):
                 index = order[start : start + self.batch_size]
                 stats = self.adversarial_step(values[index], mask[index], self.rng)
-                if record:
-                    epoch_stats.append(stats)
-            _record_fit_epoch(self.name, epoch, epoch_stats)
+                epoch_stats.append(stats)
+                monitor.check_finite(
+                    f"gan.{self.name}.step_g_loss", stats["g_loss"], epoch=epoch
+                )
+                if monitor.should_halt:
+                    break
+            _fit_epoch_telemetry(monitor, self.name, epoch, epoch_stats)
+            if monitor.should_halt:
+                break
+        self.health_verdict = monitor.finalize()
         self._fitted = True
         return self
 
@@ -294,6 +319,7 @@ class GINNImputer(GenerativeImputer):
         lr: float = 1e-3,
         noise_scale: float = 0.01,
         seed: int = 0,
+        on_divergence: str = "warn",
     ) -> None:
         super().__init__()
         self.hidden = hidden
@@ -305,6 +331,8 @@ class GINNImputer(GenerativeImputer):
         self.lr = lr
         self.noise_scale = noise_scale
         self.seed = seed
+        self.on_divergence = on_divergence
+        self.health_verdict: Optional[str] = None
         self.rng = np.random.default_rng(seed)
         self._generator: Optional[_GCNGenerator] = None
         self._critic: Optional[Module] = None
@@ -396,7 +424,7 @@ class GINNImputer(GenerativeImputer):
         self.build(dataset.n_features)
         values, mask = dataset.values, dataset.mask
         n = dataset.n_samples
-        record = get_recorder().enabled
+        monitor = HealthMonitor(policy=self.on_divergence)
         for epoch in range(self.epochs):
             order = self.rng.permutation(n)
             epoch_stats = []
@@ -405,9 +433,16 @@ class GINNImputer(GenerativeImputer):
                 if index.size < 2:
                     continue
                 stats = self.adversarial_step(values[index], mask[index], self.rng)
-                if record:
-                    epoch_stats.append(stats)
-            _record_fit_epoch(self.name, epoch, epoch_stats)
+                epoch_stats.append(stats)
+                monitor.check_finite(
+                    f"gan.{self.name}.step_g_loss", stats["g_loss"], epoch=epoch
+                )
+                if monitor.should_halt:
+                    break
+            _fit_epoch_telemetry(monitor, self.name, epoch, epoch_stats)
+            if monitor.should_halt:
+                break
+        self.health_verdict = monitor.finalize()
         self._fitted = True
         return self
 

@@ -27,6 +27,16 @@ from .export import (
     write_csv_events,
     write_json_trace,
 )
+from .health import HealthConfig, HealthMonitor
+from .profiler import (
+    OpProfiler,
+    OpStats,
+    flame_from_profile,
+    format_profile_table,
+    get_op_profiler,
+    profile_from_trace,
+    profiling,
+)
 from .recorder import (
     Event,
     InMemoryRecorder,
@@ -58,4 +68,13 @@ __all__ = [
     "events_to_csv",
     "write_csv_events",
     "summarize_trace",
+    "OpProfiler",
+    "OpStats",
+    "get_op_profiler",
+    "profiling",
+    "profile_from_trace",
+    "flame_from_profile",
+    "format_profile_table",
+    "HealthConfig",
+    "HealthMonitor",
 ]

@@ -1,0 +1,216 @@
+"""Numerical-health watchdog for training loops.
+
+The paper's central training-dynamics claim — MS-divergence training
+converges where GAIN's JS-based adversarial loop oscillates or NaNs out —
+and the known instabilities of entropic OT at small ``reg`` (overflowing
+log-sum-exp potentials, vanishing gradients; Muzellec et al.) both call
+for detection *during* a run, not a post-mortem.  This module provides the
+watchdog that training layers register their loss streams and gradient
+norms with:
+
+* **NaN/Inf detection** — :meth:`HealthMonitor.check_finite` on losses,
+  :meth:`HealthMonitor.observe_gradient_norm` on per-module gradient
+  norms (which also maintains a ``health.grad_norm.<module>`` gauge).
+* **Divergence detection** — a windowed least-squares slope over each
+  registered loss stream; a sustained relative rise beyond
+  ``HealthConfig.divergence_rise`` flags the stream as diverging.
+* **Oscillation detection** — the fraction of consecutive-difference sign
+  flips plus the relative swing amplitude over the same window; a
+  zig-zagging stream whose swings are large relative to its level is
+  flagged as oscillating (the classic unstable-GAN signature).
+
+Every issue emits a structured ``health.*`` event through the active
+recorder (guarded — with the default ``NullRecorder`` detection still
+works, it just leaves no events) and feeds the end-of-run verdict
+returned by :meth:`HealthMonitor.finalize`.  The ``policy`` decides what
+a detection does: ``"warn"`` records it, ``"halt"`` additionally raises
+:attr:`HealthMonitor.should_halt` so the owning training loop stops and a
+``health.halt`` event marks where.
+
+Pure standard library (``math``/``collections``), like all of
+``repro.obs`` — callers pass plain floats, never arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from .recorder import get_recorder
+
+__all__ = ["HealthConfig", "HealthMonitor", "HEALTH_POLICIES"]
+
+HEALTH_POLICIES = ("warn", "halt")
+
+# Verdict severity, worst first; "healthy" when no issue was recorded.
+_SEVERITY = ("nan", "divergence", "oscillation")
+
+
+@dataclass
+class HealthConfig:
+    """Detection thresholds (chosen for per-epoch loss streams).
+
+    ``window`` observations are buffered per stream; detection runs once
+    the window fills.  ``divergence_rise`` is the *relative* rise of the
+    least-squares fit across the full window (0.25 = the trend line climbs
+    by 25 % of the stream's mean level).  Oscillation needs both a flip
+    rate (fraction of consecutive-difference sign changes) above
+    ``oscillation_flip_rate`` and a mean swing above
+    ``oscillation_amplitude`` relative to the stream's level — so noisy
+    but small-amplitude convergence is not flagged.
+    """
+
+    window: int = 8
+    divergence_rise: float = 0.25
+    oscillation_flip_rate: float = 0.6
+    oscillation_amplitude: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.window < 4:
+            raise ValueError(f"window must be >= 4, got {self.window}")
+
+
+class HealthMonitor:
+    """Watches loss streams and gradient norms; verdicts and halt policy.
+
+    One monitor per training run.  Layers call :meth:`check_finite` on
+    every scalar loss, :meth:`observe_loss` once per epoch per stream, and
+    :meth:`observe_gradient_norm` when telemetry is enabled; the loop
+    checks :attr:`should_halt` after each call and stops when the policy
+    says so.
+    """
+
+    def __init__(
+        self, policy: str = "warn", config: Optional[HealthConfig] = None
+    ) -> None:
+        if policy not in HEALTH_POLICIES:
+            raise ValueError(
+                f"on_divergence policy must be one of {HEALTH_POLICIES}, got {policy!r}"
+            )
+        self.policy = policy
+        self.config = config if config is not None else HealthConfig()
+        self.issues: List[Dict[str, object]] = []
+        self.should_halt = False
+        self._windows: Dict[str, Deque[float]] = {}
+        self._reported: set = set()
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Issue plumbing
+    # ------------------------------------------------------------------
+    def _flag(self, kind: str, stream: str, **fields: object) -> None:
+        issue = {"kind": kind, "stream": stream, **fields}
+        self.issues.append(issue)
+        recorder = get_recorder()
+        key = (kind, stream)
+        first = key not in self._reported
+        self._reported.add(key)
+        if recorder.enabled:
+            recorder.inc("health.issues")
+            if first:  # one event per (kind, stream); the counter keeps totals
+                recorder.emit(f"health.{kind}", stream=stream, **fields)
+        if self.policy == "halt" and not self.should_halt:
+            self.should_halt = True
+            if recorder.enabled:
+                recorder.emit("health.halt", stream=stream, kind=kind, **fields)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_finite(self, stream: str, value: float, **fields: object) -> bool:
+        """NaN/Inf check on a scalar loss; returns True when healthy."""
+        if math.isfinite(value):
+            return True
+        self._flag("nan", stream, value=value, **fields)
+        return False
+
+    def observe_gradient_norm(self, source: str, value: float) -> bool:
+        """Gauge a module's gradient norm; flags non-finite norms."""
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.set_gauge(f"health.grad_norm.{source}", value)
+        if math.isfinite(value):
+            return True
+        self._flag("nan", f"grad.{source}", value=value)
+        return False
+
+    def observe_loss(self, stream: str, value: float) -> Optional[str]:
+        """Feed one (usually per-epoch) loss; returns the issue kind if any."""
+        if not self.check_finite(stream, value):
+            return "nan"
+        window = self._windows.get(stream)
+        if window is None:
+            window = deque(maxlen=self.config.window)
+            self._windows[stream] = window
+        window.append(float(value))
+        if len(window) < self.config.window:
+            return None
+        kind = self._classify(stream, list(window))
+        if kind is not None:
+            # Restart accumulation so one pathology is not re-flagged on
+            # every subsequent observation while the window still overlaps.
+            window.clear()
+        return kind
+
+    def _classify(self, stream: str, values: List[float]) -> Optional[str]:
+        n = len(values)
+        mean = sum(values) / n
+        level = abs(mean) + 1e-12
+        # Least-squares slope over indices 0..n-1.
+        idx_mean = (n - 1) / 2.0
+        cov = sum((i - idx_mean) * (v - mean) for i, v in enumerate(values))
+        var = sum((i - idx_mean) ** 2 for i in range(n))
+        slope = cov / var
+        rise = slope * (n - 1) / level  # trend-line climb across the window
+        if rise > self.config.divergence_rise:
+            self._flag("divergence", stream, rise=rise, window=n)
+            return "divergence"
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        flips = sum(
+            1 for a, b in zip(diffs, diffs[1:]) if a * b < 0.0
+        )
+        flip_rate = flips / max(len(diffs) - 1, 1)
+        amplitude = sum(abs(d) for d in diffs) / len(diffs) / level
+        if (
+            flip_rate >= self.config.oscillation_flip_rate
+            and amplitude >= self.config.oscillation_amplitude
+        ):
+            self._flag(
+                "oscillation", stream, flip_rate=flip_rate, amplitude=amplitude, window=n
+            )
+            return "oscillation"
+        return None
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    @property
+    def verdict(self) -> str:
+        """Worst issue kind seen so far (``"healthy"`` when none)."""
+        kinds = {issue["kind"] for issue in self.issues}
+        for kind in _SEVERITY:
+            if kind in kinds:
+                return kind
+        return "healthy"
+
+    def finalize(self) -> str:
+        """Emit the end-of-run ``health.verdict`` event; returns the verdict."""
+        verdict = self.verdict
+        if not self._finalized:
+            self._finalized = True
+            recorder = get_recorder()
+            if recorder.enabled:
+                counts: Dict[str, int] = {}
+                for issue in self.issues:
+                    kind = str(issue["kind"])
+                    counts[kind] = counts.get(kind, 0) + 1
+                recorder.emit(
+                    "health.verdict",
+                    verdict=verdict,
+                    issues=len(self.issues),
+                    halted=self.should_halt,
+                    **{f"n_{kind}": count for kind, count in sorted(counts.items())},
+                )
+        return verdict

@@ -1,0 +1,296 @@
+"""Op-level profiling for the autodiff engine.
+
+The span timers in :mod:`repro.obs.recorder` answer *which phase* of a run
+is slow (an epoch, an SSE evaluation, a bench case); this module answers
+*where time goes inside the autodiff engine*: per elementary op, how many
+times it ran, how long its forward and backward passes took, and how large
+its biggest output was.
+
+The hook lives in ``repro.tensor``: every op in ``repro.tensor.ops`` is
+wrapped so that, when the process-wide :class:`OpProfiler` is enabled, the
+op's forward wall-time and output bytes are folded into a per-op-name
+aggregate, and ``Tensor.backward`` times each node's backward closure under
+the same name.  When the profiler is disabled (the default), each op pays
+exactly one attribute read — the same overhead contract the recorder's
+``enabled`` guard makes (``docs/observability.md``).
+
+Typical use::
+
+    from repro.obs import profiling, recording, write_json_trace
+
+    with recording() as rec, profiling() as prof:
+        DIM(config).train(model, dataset, rng)
+    write_json_trace(rec, "trace.json")     # includes profiler.* events
+    print(format_profile_table(prof.snapshot()))
+
+``repro profile trace.json`` renders the same table from a written trace
+and ``--flame out.json`` exports the aggregates as a nested flame-graph
+JSON (``{"name", "value", "children"}`` nodes).
+
+Pure standard library, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .recorder import get_recorder
+
+__all__ = [
+    "OpStats",
+    "OpProfiler",
+    "get_op_profiler",
+    "profiling",
+    "profile_from_trace",
+    "flame_from_profile",
+    "format_profile_table",
+]
+
+
+class OpStats:
+    """Aggregate for one op name: call counts, wall-time, peak output bytes."""
+
+    __slots__ = (
+        "name",
+        "count",
+        "forward_seconds",
+        "backward_count",
+        "backward_seconds",
+        "peak_bytes",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.forward_seconds = 0.0
+        self.backward_count = 0
+        self.backward_seconds = 0.0
+        self.peak_bytes = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "forward_seconds": self.forward_seconds,
+            "backward_count": self.backward_count,
+            "backward_seconds": self.backward_seconds,
+            "total_seconds": self.total_seconds,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+class OpProfiler:
+    """Process-wide per-op aggregates behind a single ``enabled`` flag.
+
+    Updates are plain attribute arithmetic on per-name :class:`OpStats`
+    (atomic enough under the GIL, like the metric registry); only stats
+    *creation* takes the lock.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._stats: Dict[str, OpStats] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str) -> OpStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            with self._lock:
+                stats = self._stats.setdefault(name, OpStats(name))
+        return stats
+
+    def record_forward(self, name: str, seconds: float, out_bytes: int) -> None:
+        stats = self._get(name)
+        stats.count += 1
+        stats.forward_seconds += seconds
+        if out_bytes > stats.peak_bytes:
+            stats.peak_bytes = out_bytes
+
+    def record_backward(self, name: str, seconds: float) -> None:
+        stats = self._get(name)
+        stats.backward_count += 1
+        stats.backward_seconds += seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats = {}
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-op aggregates, sorted by name."""
+        with self._lock:
+            return {name: s.to_dict() for name, s in sorted(self._stats.items())}
+
+    def totals(self) -> Dict[str, float]:
+        snap = self.snapshot()
+        return {
+            "forward_seconds": sum(s["forward_seconds"] for s in snap.values()),
+            "backward_seconds": sum(s["backward_seconds"] for s in snap.values()),
+            "ops": float(len(snap)),
+        }
+
+
+_PROFILER = OpProfiler()
+
+
+def get_op_profiler() -> OpProfiler:
+    """The process-wide op profiler (disabled unless :func:`profiling` is active)."""
+    return _PROFILER
+
+
+def _export_to_recorder(profiler: OpProfiler) -> None:
+    """Fold the profiler's aggregates into the active recorder as events."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    snapshot = profiler.snapshot()
+    total_forward = 0.0
+    total_backward = 0.0
+    for name, stats in snapshot.items():
+        total_forward += stats["forward_seconds"]
+        total_backward += stats["backward_seconds"]
+        recorder.emit(
+            "profiler.op",
+            op=name,
+            count=stats["count"],
+            forward_seconds=stats["forward_seconds"],
+            backward_count=stats["backward_count"],
+            backward_seconds=stats["backward_seconds"],
+            peak_bytes=stats["peak_bytes"],
+        )
+    recorder.emit(
+        "profiler.summary",
+        ops=len(snapshot),
+        forward_seconds=total_forward,
+        backward_seconds=total_backward,
+        total_seconds=total_forward + total_backward,
+    )
+
+
+@contextmanager
+def profiling(reset: bool = True) -> Iterator[OpProfiler]:
+    """Enable op profiling for the block and yield the profiler.
+
+    On exit the profiler is disabled and — if a recorder is attached and
+    enabled — its aggregates are exported as one ``profiler.op`` event per
+    op plus a ``profiler.summary`` event, so the written trace carries the
+    profile.  ``reset=False`` accumulates across consecutive blocks.
+    """
+    profiler = get_op_profiler()
+    if reset:
+        profiler.reset()
+    previous = profiler.enabled
+    profiler.enabled = True
+    try:
+        yield profiler
+    finally:
+        profiler.enabled = previous
+        _export_to_recorder(profiler)
+
+
+# ----------------------------------------------------------------------
+# Trace-side helpers (used by the `repro profile` CLI)
+# ----------------------------------------------------------------------
+def profile_from_trace(trace: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """Rebuild the per-op aggregates from a trace's ``profiler.op`` events.
+
+    Raises ``ValueError`` when the trace holds no profiler events (it was
+    recorded without :func:`profiling` / ``--profile``).
+    """
+    ops: Dict[str, Dict[str, object]] = {}
+    for event in trace.get("events", []):
+        if event.get("name") != "profiler.op":
+            continue
+        fields = event["fields"]
+        name = str(fields["op"])
+        stats = ops.setdefault(
+            name,
+            {
+                "count": 0,
+                "forward_seconds": 0.0,
+                "backward_count": 0,
+                "backward_seconds": 0.0,
+                "total_seconds": 0.0,
+                "peak_bytes": 0,
+            },
+        )
+        stats["count"] += int(fields.get("count", 0))
+        stats["forward_seconds"] += float(fields.get("forward_seconds", 0.0))
+        stats["backward_count"] += int(fields.get("backward_count", 0))
+        stats["backward_seconds"] += float(fields.get("backward_seconds", 0.0))
+        stats["total_seconds"] = stats["forward_seconds"] + stats["backward_seconds"]
+        stats["peak_bytes"] = max(stats["peak_bytes"], int(fields.get("peak_bytes", 0)))
+    if not ops:
+        raise ValueError(
+            "trace has no profiler.op events; record it with "
+            "repro.obs.profiling() or the CLI --profile flag"
+        )
+    return ops
+
+
+def flame_from_profile(profile: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Nested flame-graph JSON (``name``/``value``/``children`` nodes).
+
+    The root spans the whole profiled autodiff time; each op is a child
+    split into its forward and backward phases, so any flame-graph viewer
+    that takes the d3-flame-graph format renders it directly.
+    """
+    children: List[Dict[str, object]] = []
+    total = 0.0
+    for name, stats in sorted(
+        profile.items(), key=lambda kv: -float(kv[1]["total_seconds"])
+    ):
+        op_total = float(stats["total_seconds"])
+        total += op_total
+        phases: List[Dict[str, object]] = [
+            {
+                "name": "forward",
+                "value": float(stats["forward_seconds"]),
+                "count": int(stats["count"]),
+            }
+        ]
+        if stats["backward_count"]:
+            phases.append(
+                {
+                    "name": "backward",
+                    "value": float(stats["backward_seconds"]),
+                    "count": int(stats["backward_count"]),
+                }
+            )
+        children.append(
+            {
+                "name": name,
+                "value": op_total,
+                "peak_bytes": int(stats["peak_bytes"]),
+                "children": phases,
+            }
+        )
+    return {"name": "autodiff", "value": total, "children": children}
+
+
+def format_profile_table(
+    profile: Dict[str, Dict[str, object]], top: Optional[int] = None
+) -> str:
+    """Top-k table of ops by total wall-time (forward + backward)."""
+    rows = sorted(profile.items(), key=lambda kv: -float(kv[1]["total_seconds"]))
+    total = sum(float(s["total_seconds"]) for _, s in rows) or 1.0
+    if top is not None:
+        rows = rows[:top]
+    lines = [
+        f"{'op':<14} {'calls':>8} {'fwd s':>10} {'bwd s':>10} "
+        f"{'total s':>10} {'%':>6} {'peak MB':>9}"
+    ]
+    for name, stats in rows:
+        lines.append(
+            f"{name:<14} {int(stats['count']):>8} "
+            f"{float(stats['forward_seconds']):>10.4f} "
+            f"{float(stats['backward_seconds']):>10.4f} "
+            f"{float(stats['total_seconds']):>10.4f} "
+            f"{100.0 * float(stats['total_seconds']) / total:>5.1f}% "
+            f"{int(stats['peak_bytes']) / 1e6:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 import threading
+import zlib
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -76,7 +77,9 @@ class Histogram:
         self.max: Optional[float] = None
         self.max_samples = max_samples
         self._samples: List[float] = []
-        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+        # crc32, not hash(): str hashes are salted per process, which made
+        # reservoir quantiles differ between identical runs.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)

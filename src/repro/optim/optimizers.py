@@ -24,6 +24,9 @@ class Optimizer:
     ``_step()``, and the base times each call into the active recorder's
     ``optim.<name>.step_seconds`` histogram (``optim.adam.step_seconds``
     etc.) when telemetry is enabled — a bare ``_step()`` call otherwise.
+    The enabled path also observes the global gradient norm into
+    ``optim.<name>.grad_norm`` and emits a ``health.nan_grad`` event if
+    the norm is non-finite (the watchdog's lowest-level tripwire).
     """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
@@ -43,9 +46,17 @@ class Optimizer:
         if not recorder.enabled:
             self._step()
             return
+        label = type(self).__name__.lower()
+        sq = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                sq += float(np.sum(param.grad * param.grad))
+        grad_norm = sq**0.5
+        recorder.observe(f"optim.{label}.grad_norm", grad_norm)
+        if not np.isfinite(grad_norm):
+            recorder.emit("health.nan_grad", optimizer=label, grad_norm=grad_norm)
         start = time.perf_counter()
         self._step()
-        label = type(self).__name__.lower()
         recorder.inc(f"optim.{label}.steps")
         recorder.observe(f"optim.{label}.step_seconds", time.perf_counter() - start)
 

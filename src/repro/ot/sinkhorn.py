@@ -188,6 +188,18 @@ def sinkhorn(
         recorder.inc("sinkhorn.solves")
         if not converged:
             recorder.inc("sinkhorn.nonconverged")
+        if not (np.isfinite(value) and np.isfinite(violation)):
+            # Overflowed potentials (tiny reg / huge costs) — the watchdog's
+            # structured breadcrumb for a poisoned MS loss.
+            recorder.inc("health.issues")
+            recorder.emit(
+                "health.sinkhorn_nonfinite",
+                value=float(value),
+                marginal_violation=violation,
+                reg=reg,
+                n=n,
+                m=m,
+            )
         recorder.observe("sinkhorn.iterations", float(iteration))
         if warm_started:
             recorder.inc("sinkhorn.warm_starts")

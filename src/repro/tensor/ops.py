@@ -9,10 +9,13 @@ not require grad, though returning a gradient anyway is harmless).
 from __future__ import annotations
 
 import builtins
+import functools
+import time
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.profiler import get_op_profiler
 from .tensor import ArrayLike, Tensor, _unbroadcast, as_tensor
 
 __all__ = [
@@ -427,3 +430,36 @@ def dropout_mask(shape: Tuple[int, ...], rate: float, rng: np.random.Generator) 
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
     return (rng.random(shape) < keep).astype(np.float64) / keep
+
+
+# ----------------------------------------------------------------------
+# Op-level profiling hooks (repro.obs.profiler)
+# ----------------------------------------------------------------------
+_OP_PROFILER = get_op_profiler()  # process-wide singleton, bound once
+
+
+def _profiled(fn, name: str):
+    """Wrap an op: time the forward and tag the output for backward timing.
+
+    The disabled path is one attribute read (`enabled`) on top of the call
+    itself — the same overhead contract as `recorder.enabled` sites.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if not _OP_PROFILER.enabled:
+            return fn(*args, **kwargs)
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        _OP_PROFILER.record_forward(name, time.perf_counter() - start, out.data.nbytes)
+        out._op = name
+        return out
+
+    return wrapper
+
+
+for _name in __all__:
+    if _name == "dropout_mask":  # returns a plain ndarray, not a tape op
+        continue
+    globals()[_name] = _profiled(globals()[_name], _name)
+del _name

@@ -20,10 +20,12 @@ Design notes
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs.profiler import get_op_profiler
 from .grad_mode import is_grad_enabled
 
 __all__ = ["Tensor", "as_tensor"]
@@ -49,7 +51,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A NumPy-backed array that supports reverse-mode differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op")
 
     # Make ndarray.__mul__ defer to Tensor.__rmul__ etc.
     __array_priority__ = 100.0
@@ -68,6 +70,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
         self.name = name
+        self._op: Optional[str] = None  # producing op, set only while profiling
 
     # ------------------------------------------------------------------
     # Introspection
@@ -160,6 +163,8 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        profiler = get_op_profiler()
+        profile = profiler.enabled
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
@@ -172,7 +177,14 @@ class Tensor:
                 else:
                     node.grad = node.grad + node_grad
             if node._backward is not None:
-                parent_grads = node._backward(node_grad)
+                if profile:
+                    t0 = time.perf_counter()
+                    parent_grads = node._backward(node_grad)
+                    profiler.record_backward(
+                        node._op or "unattributed", time.perf_counter() - t0
+                    )
+                else:
+                    parent_grads = node._backward(node_grad)
                 for parent, pgrad in zip(node._parents, parent_grads):
                     if pgrad is None or not (
                         parent.requires_grad or parent._backward is not None

@@ -1,0 +1,217 @@
+"""Bench baselines: snapshots, diffing, the smoke bench, and the diff CLI."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import MethodResult, run_smoke_bench
+from repro.bench.baselines import (
+    DEFAULT_TIME_THRESHOLD,
+    diff_baselines,
+    format_diff,
+    is_time_metric,
+    load_baseline,
+    snapshot_from_results,
+    snapshot_from_trace,
+    write_baseline,
+)
+from repro.obs import recording, trace_to_dict, write_json_trace
+
+
+def _results():
+    return [
+        MethodResult(
+            method="mean", dataset="trial", rmse_mean=0.3, rmse_std=0.0, seconds=0.01
+        ),
+        MethodResult(
+            method="dim-gain",
+            dataset="trial",
+            rmse_mean=0.2,
+            rmse_std=0.01,
+            seconds=1.5,
+        ),
+    ]
+
+
+class TestSnapshots:
+    def test_snapshot_from_results_schema(self):
+        baseline = snapshot_from_results(_results(), name="unit")
+        assert baseline["kind"] == "bench-baseline"
+        assert baseline["version"] == 1
+        assert baseline["metrics"]["rmse.mean.trial"] == 0.3
+        assert baseline["metrics"]["seconds.dim-gain.trial"] == 1.5
+
+    def test_snapshot_skips_non_finite(self):
+        results = [MethodResult(method="m", dataset="d")]  # all-nan defaults
+        metrics = snapshot_from_results(results, name="x")["metrics"]
+        assert "rmse.m.d" not in metrics and "seconds.m.d" not in metrics
+
+    def test_snapshot_from_trace_pulls_bench_and_solver_metrics(self):
+        trace = {
+            "events": [
+                {
+                    "name": "bench.result",
+                    "t": 0.0,
+                    "fields": {
+                        "method": "mean",
+                        "dataset": "trial",
+                        "rmse_mean": 0.31,
+                        "seconds": 0.02,
+                        "timed_out": False,
+                    },
+                },
+                {
+                    "name": "bench.result",
+                    "t": 0.1,
+                    "fields": {"method": "slow", "dataset": "trial", "timed_out": True},
+                },
+            ],
+            "metrics": {
+                "histograms": {
+                    "sinkhorn.iterations": {"count": 4, "mean": 12.5},
+                    "span.dim.epoch.seconds": {"count": 2, "mean": 0.8},
+                }
+            },
+        }
+        metrics = snapshot_from_trace(trace, name="t")["metrics"]
+        assert metrics["rmse.mean.trial"] == 0.31
+        assert metrics["sinkhorn.iterations"] == 12.5
+        assert metrics["dim.epoch_seconds"] == 0.8
+        assert not any("slow" in key for key in metrics)  # timed-out run skipped
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        write_baseline(snapshot_from_results(_results(), name="unit"), path)
+        loaded = load_baseline(path)
+        assert loaded["name"] == "unit"
+        assert loaded["metrics"]["rmse.dim-gain.trial"] == 0.2
+
+    def test_load_rejects_wrong_kind_and_version(self, tmp_path):
+        bad_kind = tmp_path / "a.json"
+        bad_kind.write_text(json.dumps({"kind": "other", "metrics": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(bad_kind)
+        bad_version = tmp_path / "b.json"
+        bad_version.write_text(
+            json.dumps({"kind": "bench-baseline", "version": 99, "metrics": {}})
+        )
+        with pytest.raises(ValueError):
+            load_baseline(bad_version)
+
+    def test_load_distills_raw_trace(self, tmp_path):
+        with recording() as rec:
+            rec.emit(
+                "bench.result",
+                method="mean",
+                dataset="trial",
+                rmse_mean=0.3,
+                seconds=0.1,
+                timed_out=False,
+            )
+        path = write_json_trace(rec, tmp_path / "trace.json")
+        baseline = load_baseline(path)
+        assert baseline["kind"] == "bench-baseline"
+        assert baseline["metrics"]["rmse.mean.trial"] == 0.3
+
+
+class TestDiff:
+    def test_time_metrics_classified(self):
+        assert is_time_metric("seconds.mean.trial")
+        assert is_time_metric("dim.epoch_seconds")
+        assert not is_time_metric("rmse.mean.trial")
+        assert not is_time_metric("sinkhorn.iterations")
+
+    def test_identical_baselines_have_no_regressions(self):
+        baseline = snapshot_from_results(_results(), name="a")
+        deltas = diff_baselines(baseline, baseline)
+        assert deltas and not any(d.regressed for d in deltas)
+
+    def test_detects_2x_slowdown(self):
+        """Acceptance: an injected 2x slowdown must regress at defaults."""
+        base = snapshot_from_results(_results(), name="a")
+        cand = json.loads(json.dumps(base))
+        cand["metrics"]["seconds.dim-gain.trial"] *= 2.0
+        deltas = diff_baselines(base, cand)
+        bad = [d for d in deltas if d.regressed]
+        assert [d.metric for d in bad] == ["seconds.dim-gain.trial"]
+        assert bad[0].rel_change == pytest.approx(1.0)
+
+    def test_time_threshold_separates_rmse_gate(self):
+        base = snapshot_from_results(_results(), name="a")
+        cand = json.loads(json.dumps(base))
+        cand["metrics"]["seconds.dim-gain.trial"] *= 2.0
+        cand["metrics"]["rmse.mean.trial"] *= 1.3  # +30% > 0.25 gate
+        deltas = diff_baselines(base, cand, time_threshold=1e9)
+        bad = {d.metric for d in deltas if d.regressed}
+        assert bad == {"rmse.mean.trial"}  # timings muted, rmse still gated
+
+    def test_improvements_never_regress(self):
+        base = snapshot_from_results(_results(), name="a")
+        cand = json.loads(json.dumps(base))
+        for key in cand["metrics"]:
+            cand["metrics"][key] *= 0.5
+        assert not any(d.regressed for d in diff_baselines(base, cand))
+
+    def test_one_sided_metrics_reported_but_not_regressed(self):
+        base = snapshot_from_results(_results(), name="a")
+        cand = json.loads(json.dumps(base))
+        cand["metrics"]["extra.metric"] = 1.0
+        del cand["metrics"]["rmse.mean.trial"]
+        deltas = {d.metric: d for d in diff_baselines(base, cand)}
+        assert deltas["extra.metric"].missing
+        assert deltas["rmse.mean.trial"].missing
+        assert not deltas["extra.metric"].regressed
+
+    def test_format_diff_marks_regressions(self):
+        base = snapshot_from_results(_results(), name="a")
+        cand = json.loads(json.dumps(base))
+        cand["metrics"]["seconds.dim-gain.trial"] *= 2.0
+        text = format_diff(diff_baselines(base, cand))
+        flagged = [line for line in text.splitlines() if line.startswith("!")]
+        assert len(flagged) == 1 and "seconds.dim-gain.trial" in flagged[0]
+        assert "1 regression" in text
+
+    def test_default_time_threshold_catches_doubling(self):
+        assert 1.0 > DEFAULT_TIME_THRESHOLD
+
+
+class TestSmokeBenchAndCli:
+    def test_run_smoke_bench_produces_three_methods(self):
+        with recording() as rec:
+            results = run_smoke_bench(n_samples=48, epochs=1)
+        assert {r.method for r in results} == {"mean", "knn", "dim-gain"}
+        assert all(r.available for r in results)
+        metrics = snapshot_from_trace(trace_to_dict(rec), name="s")["metrics"]
+        assert "sinkhorn.iterations" in metrics  # the DIM leg exercises the solver
+
+    def test_cli_diff_exit_codes(self, tmp_path):
+        base_path = tmp_path / "BENCH_a.json"
+        write_baseline(snapshot_from_results(_results(), name="a"), base_path)
+        cand = snapshot_from_results(_results(), name="b")
+        cand["metrics"]["seconds.dim-gain.trial"] *= 2.0
+        cand_path = tmp_path / "BENCH_b.json"
+        write_baseline(cand, cand_path)
+
+        def run(*argv):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv],
+                capture_output=True,
+                text=True,
+            )
+
+        same = run("obs", "diff", str(base_path), str(base_path))
+        assert same.returncode == 0
+        slow = run("obs", "diff", str(base_path), str(cand_path))
+        assert slow.returncode == 1
+        assert "seconds.dim-gain.trial" in slow.stdout
+        muted = run(
+            "obs", "diff", str(base_path), str(cand_path), "--time-threshold", "1e9"
+        )
+        assert muted.returncode == 0
+        missing = run("obs", "diff", str(base_path), str(tmp_path / "nope.json"))
+        assert missing.returncode == 2
+        assert len(missing.stderr.strip().splitlines()) == 1
+        one_arg = run("obs", "diff", str(base_path))
+        assert one_arg.returncode == 2

@@ -1,0 +1,202 @@
+"""Numerical-health watchdog: detection math, policies, training wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIM, DimConfig
+from repro.data import MinMaxNormalizer, generate
+from repro.models import GAINImputer
+from repro.obs import HealthConfig, HealthMonitor, recording
+
+
+def _small_case(n=120, seed=0):
+    dataset = generate("trial", n_samples=n, seed=seed).dataset
+    return MinMaxNormalizer().fit_transform(dataset)
+
+
+class TestHealthMonitor:
+    def test_rejects_unknown_policy_and_tiny_window(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(policy="explode")
+        with pytest.raises(ValueError):
+            HealthConfig(window=2)
+
+    def test_healthy_stream_stays_healthy(self):
+        monitor = HealthMonitor()
+        for i in range(30):
+            monitor.observe_loss("s", 1.0 / (i + 1))
+        assert monitor.verdict == "healthy"
+        assert not monitor.issues
+        assert not monitor.should_halt
+
+    def test_nan_loss_flagged_and_event_emitted(self):
+        with recording() as rec:
+            monitor = HealthMonitor()
+            assert monitor.check_finite("s", 1.0)
+            assert not monitor.check_finite("s", float("nan"))
+            assert not monitor.check_finite("s", float("inf"))
+        assert monitor.verdict == "nan"
+        nan_events = [e for e in rec.events if e.name == "health.nan"]
+        # deduped per (kind, stream); the counter keeps the true total
+        assert len(nan_events) == 1
+        assert rec.metrics.counter("health.issues").value == 2
+
+    def test_divergence_detected_on_rising_stream(self):
+        with recording() as rec:
+            monitor = HealthMonitor()
+            kind = None
+            for i in range(10):
+                kind = monitor.observe_loss("dim.epoch", 1.0 + 0.5 * i) or kind
+        assert kind == "divergence"
+        assert monitor.verdict == "divergence"
+        assert any(e.name == "health.divergence" for e in rec.events)
+
+    def test_oscillation_detected_on_zigzag_stream(self):
+        monitor = HealthMonitor()
+        kind = None
+        for i in range(12):
+            value = 1.0 + (0.6 if i % 2 == 0 else -0.6)
+            kind = monitor.observe_loss("gan.gain.epoch", value) or kind
+        assert kind == "oscillation"
+        assert monitor.verdict == "oscillation"
+
+    def test_small_noise_convergence_not_flagged_as_oscillation(self):
+        monitor = HealthMonitor()
+        rng = np.random.default_rng(0)
+        for i in range(40):
+            monitor.observe_loss("s", 1.0 / (1 + i) + 1e-3 * rng.standard_normal())
+        assert monitor.verdict == "healthy"
+
+    def test_halt_policy_sets_flag_and_emits_event(self):
+        with recording() as rec:
+            monitor = HealthMonitor(policy="halt")
+            monitor.check_finite("s", float("nan"))
+        assert monitor.should_halt
+        halts = [e for e in rec.events if e.name == "health.halt"]
+        assert len(halts) == 1
+        assert halts[0].fields["kind"] == "nan"
+        assert halts[0].fields["stream"] == "s"
+
+    def test_gradient_norm_gauge_and_nan_flag(self):
+        with recording() as rec:
+            monitor = HealthMonitor()
+            assert monitor.observe_gradient_norm("gen", 3.5)
+            assert not monitor.observe_gradient_norm("gen", float("inf"))
+        assert rec.metrics.gauge("health.grad_norm.gen").value == float("inf")
+        assert monitor.verdict == "nan"
+
+    def test_verdict_severity_order(self):
+        monitor = HealthMonitor()
+        for i in range(12):
+            monitor.observe_loss("a", 1.0 + 0.5 * i)  # divergence
+        monitor.check_finite("b", float("nan"))  # nan outranks it
+        assert monitor.verdict == "nan"
+
+    def test_finalize_emits_verdict_once(self):
+        with recording() as rec:
+            monitor = HealthMonitor()
+            monitor.check_finite("s", float("nan"))
+            assert monitor.finalize() == "nan"
+            assert monitor.finalize() == "nan"  # idempotent
+        verdicts = [e for e in rec.events if e.name == "health.verdict"]
+        assert len(verdicts) == 1
+        assert verdicts[0].fields["n_nan"] == 1
+
+    def test_detection_works_without_recorder(self):
+        monitor = HealthMonitor(policy="halt")
+        for i in range(10):
+            monitor.observe_loss("s", 1.0 + 0.5 * i)
+        assert monitor.should_halt  # NullRecorder attached, detection still on
+
+
+class TestTrainingWiring:
+    def test_dim_reports_health_verdict(self):
+        dataset = _small_case()
+        model = GAINImputer(epochs=2, batch_size=32, seed=0)
+        config = DimConfig(
+            epochs=2, batch_size=32, sinkhorn_max_iter=30, use_adversarial=False
+        )
+        with recording() as rec:
+            report = DIM(config).train(model, dataset, np.random.default_rng(0))
+        assert report.health_verdict is not None
+        assert not report.halted
+        assert any(e.name == "health.verdict" for e in rec.events)
+        train_events = [e for e in rec.events if e.name == "dim.train"]
+        assert train_events[0].fields["health_verdict"] == report.health_verdict
+
+    def test_dim_halts_on_injected_nan(self, monkeypatch):
+        """Acceptance: on_divergence='halt' stops DIM.train with a
+        health.halt event when the loss goes non-finite."""
+        from repro.core import dim as dim_module
+
+        real_loss = dim_module.masked_mse_loss
+        calls = {"n": 0}
+
+        def poisoned(x_bar, target, mask):
+            calls["n"] += 1
+            loss = real_loss(x_bar, target, mask)
+            if calls["n"] >= 3:
+                loss.data = np.asarray(float("nan"))
+            return loss
+
+        monkeypatch.setattr(dim_module, "masked_mse_loss", poisoned)
+        dataset = _small_case()
+        model = GAINImputer(epochs=5, batch_size=32, seed=0)
+        config = DimConfig(
+            epochs=5,
+            batch_size=32,
+            sinkhorn_max_iter=30,
+            use_adversarial=False,
+            on_divergence="halt",
+        )
+        with recording() as rec:
+            report = DIM(config).train(model, dataset, np.random.default_rng(0))
+        assert report.halted
+        assert report.health_verdict == "nan"
+        assert any(e.name == "health.halt" for e in rec.events)
+        # halted early: fewer steps than the full budget would take
+        assert report.steps == 3
+
+    def test_dim_warn_policy_does_not_halt(self, monkeypatch):
+        from repro.core import dim as dim_module
+
+        real_loss = dim_module.masked_mse_loss
+
+        def poisoned(x_bar, target, mask):
+            loss = real_loss(x_bar, target, mask)
+            loss.data = np.asarray(float("nan"))
+            return loss
+
+        monkeypatch.setattr(dim_module, "masked_mse_loss", poisoned)
+        dataset = _small_case()
+        model = GAINImputer(epochs=2, batch_size=64, seed=0)
+        config = DimConfig(
+            epochs=2, batch_size=64, sinkhorn_max_iter=30, use_adversarial=False
+        )
+        report = DIM(config).train(model, dataset, np.random.default_rng(0))
+        assert not report.halted
+        assert report.health_verdict == "nan"
+
+    def test_invalid_policy_rejected_at_train_time(self):
+        dataset = _small_case(n=40)
+        model = GAINImputer(epochs=1, batch_size=32, seed=0)
+        config = DimConfig(epochs=1, on_divergence="panic")
+        with pytest.raises(ValueError):
+            DIM(config).train(model, dataset, np.random.default_rng(0))
+
+    def test_gain_fit_records_verdict(self):
+        dataset = _small_case(n=80)
+        model = GAINImputer(epochs=2, batch_size=32, seed=0)
+        with recording() as rec:
+            model.fit(dataset)
+        assert model.health_verdict is not None
+        assert any(e.name == "health.verdict" for e in rec.events)
+
+    def test_optimizer_grad_norm_histogram(self):
+        dataset = _small_case(n=80)
+        model = GAINImputer(epochs=1, batch_size=32, seed=0)
+        with recording() as rec:
+            model.fit(dataset)
+        summary = rec.metrics.histogram("optim.adam.grad_norm").summary()
+        assert summary["count"] > 0
+        assert summary["min"] >= 0.0

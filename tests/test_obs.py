@@ -1,7 +1,10 @@
 """Observability layer: registry semantics, spans, recorders, exporters,
 and the instrumentation contract wired through DIM / Sinkhorn / optimisers."""
 
+import csv
+import io
 import json
+import os
 
 import numpy as np
 import pytest
@@ -66,6 +69,31 @@ class TestRegistry:
         assert hist.count == 1000  # exact even past the reservoir bound
         assert hist.min == 0.0 and hist.max == 999.0
         assert len(hist._samples) == 16
+
+    def test_histogram_percentiles_stable_across_hash_seeds(self):
+        """The reservoir RNG is seeded from the metric name via crc32, so
+        percentile estimates must not depend on PYTHONHASHSEED."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.obs import Histogram\n"
+            "h = Histogram('span.dim.epoch.seconds', max_samples=32)\n"
+            "for v in range(1000):\n"
+            "    h.observe(float(v))\n"
+            "print(h.percentile(50), h.percentile(90), h.percentile(99))\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={**os.environ, "PYTHONHASHSEED": seed},
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, f"reservoir varies with hash seed: {outputs}"
 
     def test_registry_get_or_create(self):
         registry = MetricsRegistry()
@@ -245,6 +273,27 @@ class TestExporters:
         assert len(lines) == 3
         path = write_csv_events(rec, tmp_path / "events.csv")
         assert (tmp_path / "events.csv").read_text().splitlines()[0].startswith("t,name")
+
+    def test_csv_escapes_commas_quotes_and_newlines(self, tmp_path):
+        rec = InMemoryRecorder()
+        rec.emit(
+            "note",
+            message='has, comma and "quotes"',
+            detail="line one\nline two",
+            plain="ok",
+        )
+        rec.emit("note", message="second, row", detail="x", plain="y")
+        text = events_to_csv(rec)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["t", "name", "message", "detail", "plain"]
+        assert rows[1][2] == 'has, comma and "quotes"'
+        assert rows[1][3] == "line one\nline two"
+        assert rows[2][2] == "second, row"
+        assert len(rows) == 3  # embedded newline must not add a row
+        # and the file-writing path round-trips identically
+        path = write_csv_events(rec, tmp_path / "special.csv")
+        with open(path, newline="") as handle:
+            assert list(csv.reader(handle)) == rows
 
     def test_summarize_mentions_events_and_metrics(self):
         rec = self._sample_recorder()

@@ -91,6 +91,36 @@ class TestObsDocConsistency:
         ):
             assert name in obs_text, f"docs/observability.md misses {name}"
 
+    def test_profiler_and_health_events_documented(self):
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "profiler.op",
+            "profiler.summary",
+            "health.nan",
+            "health.divergence",
+            "health.oscillation",
+            "health.halt",
+            "health.verdict",
+            "health.nan_grad",
+            "health.sinkhorn_nonfinite",
+            "health.issues",
+            "health.grad_norm.",
+            "optim.<name>.grad_norm",
+        ):
+            assert name in obs_text, f"docs/observability.md misses {name}"
+
+    def test_new_cli_subcommands_documented(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for phrase in ("repro obs diff", "repro profile", "repro bench smoke"):
+            assert phrase in api_text, f"docs/api.md misses `{phrase}`"
+
+    def test_committed_bench_baseline_is_loadable(self):
+        from repro.bench.baselines import load_baseline
+
+        baseline = load_baseline(REPO_ROOT / "BENCH_baseline.json")
+        assert baseline["kind"] == "bench-baseline"
+        assert any(k.startswith("rmse.") for k in baseline["metrics"])
+
 
 class TestRegistryConsistency:
     def test_registry_names_match_imputer_name_attribute(self):
