@@ -1,0 +1,69 @@
+"""Extension — parallel smoke-bench speedup with serial/parallel parity.
+
+The smoke bench's 4-cell matrix (mean, knn, dim-gain, dim-gain-adv) is
+dominated by the two DIM cells, so fanning the grid out over two worker
+processes should roughly halve wall-clock on a multi-core machine while —
+thanks to spawn-key seeding and ordered result/telemetry merging — leaving
+the RMSE table bit-identical.  This bench measures both claims: parity is
+asserted unconditionally, the speedup only on machines that actually have
+a second core to run on.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import format_series
+from repro.bench.runner import run_smoke_bench
+from repro.parallel import ExecutionContext
+
+N_SAMPLES = 192
+EPOCHS = 4
+
+
+def _run(context):
+    start = time.perf_counter()
+    results = run_smoke_bench(n_samples=N_SAMPLES, epochs=EPOCHS, context=context)
+    return results, time.perf_counter() - start
+
+
+@pytest.mark.parallel
+def test_ext_parallel_smoke_speedup(benchmark):
+    (serial, serial_seconds), (parallel, parallel_seconds) = benchmark.pedantic(
+        lambda: (
+            _run(ExecutionContext("serial")),
+            _run(ExecutionContext("process", workers=2)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    methods = [r.method for r in serial]
+    print(
+        "\n"
+        + format_series(
+            "method",
+            methods,
+            {
+                "serial rmse": [r.rmse_mean for r in serial],
+                "parallel rmse": [r.rmse_mean for r in parallel],
+            },
+            title="Extension — parallel bench: RMSE parity (workers=2)",
+        )
+    )
+    print(
+        f"serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s "
+        f"({serial_seconds / parallel_seconds:.2f}x) on {os.cpu_count()} cpus"
+    )
+
+    # Parity is unconditional: same table, to the bit.
+    assert [(r.method, r.dataset, r.rmse_mean, r.sample_rate) for r in parallel] == [
+        (r.method, r.dataset, r.rmse_mean, r.sample_rate) for r in serial
+    ]
+
+    # The speedup claim needs a second core; a 1-cpu machine time-slices the
+    # workers and fork overhead makes "parallel" a strict loss there.
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("wall-clock speedup needs >= 2 cpus")
+    assert parallel_seconds < serial_seconds

@@ -25,6 +25,7 @@ Subpackages
 ``repro.metrics``  masked RMSE/MAE, AUC, post-imputation prediction
 ``repro.bench``    the harness behind every reproduced table and figure
 ``repro.obs``      training observability: metrics, spans, trace export
+``repro.parallel`` serial/process execution contexts with spawn-key seeding
 """
 
 from . import obs

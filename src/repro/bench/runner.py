@@ -20,6 +20,7 @@ from ..core.dim import DimConfig, DimImputer
 from ..data import HoldoutSplit, IncompleteDataset, MinMaxNormalizer, generate, holdout_split
 from ..models.base import Imputer
 from ..obs import get_recorder, trace
+from ..parallel import ExecutionContext
 
 __all__ = [
     "MethodResult",
@@ -173,14 +174,20 @@ def run_method(
 
 
 def run_smoke_bench(
-    n_samples: int = 96, epochs: int = 2, seed: int = 0
+    n_samples: int = 96,
+    epochs: int = 2,
+    seed: int = 0,
+    context: Optional[ExecutionContext] = None,
 ) -> List[MethodResult]:
     """Tiny fixed bench used for regression gating (seconds, not minutes).
 
-    One small synthetic dataset, three methods spanning the stack's layers:
-    ``mean`` (data plumbing only), ``knn`` (classical numerics), and a
-    short ``dim-gain`` run (autodiff + Sinkhorn + optimiser hot paths).
-    Run it under :func:`repro.obs.recording` to also capture the
+    One small synthetic dataset, a 4-cell method matrix spanning the
+    stack's layers: ``mean`` (data plumbing only), ``knn`` (classical
+    numerics), and two short DIM runs — ``dim-gain`` (autodiff + Sinkhorn +
+    optimiser hot paths) and ``dim-gain-adv`` (the same plus the
+    adversarial phase).  The two DIM cells dominate wall-clock, so the
+    matrix parallelises well across two workers.  Run it under
+    :func:`repro.obs.recording` to also capture the
     ``sinkhorn.iterations`` / epoch-timing metrics the baseline snapshots.
     """
     from ..models import GAINImputer, KNNImputer, MeanImputer
@@ -189,14 +196,20 @@ def run_smoke_bench(
     dim_config = DimConfig(
         epochs=epochs, batch_size=32, sinkhorn_max_iter=50, use_adversarial=False
     )
+    adv_config = DimConfig(
+        epochs=epochs, batch_size=32, sinkhorn_max_iter=50, use_adversarial=True
+    )
     factories: Dict[str, Callable[[int], object]] = {
         "mean": lambda s: MeanImputer(),
         "knn": lambda s: KNNImputer(),
         "dim-gain": lambda s: DimImputer(
             GAINImputer(epochs=epochs, seed=s), config=dim_config, seed=s
         ),
+        "dim-gain-adv": lambda s: DimImputer(
+            GAINImputer(epochs=epochs, seed=s), config=adv_config, seed=s
+        ),
     }
-    return run_comparison([case], factories, n_seeds=1)
+    return run_comparison([case], factories, n_seeds=1, context=context)
 
 
 def run_comparison(
@@ -204,13 +217,24 @@ def run_comparison(
     factories: Dict[str, Callable[[int], object]],
     n_seeds: int = 1,
     time_budget: Optional[float] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[MethodResult]:
-    """Cartesian product of methods × datasets, in a stable order."""
-    results = []
+    """Cartesian product of methods × datasets, in a stable order.
+
+    Each (method × dataset) cell is independent, so the grid fans out
+    through ``context`` (serial by default; ``REPRO_WORKERS`` or an
+    explicit :class:`~repro.parallel.ExecutionContext` enables the process
+    backend).  Results keep the serial iteration order — cases outer,
+    factories inner — and per-worker telemetry (``bench.result`` events,
+    counters) is merged back into the parent recorder, so serial and
+    parallel runs produce identical result tables.
+    """
+    context = context if context is not None else ExecutionContext.from_env()
+    tasks = []
     for case in cases:
         for method_name, factory in factories.items():
-            results.append(
-                run_method(
+            tasks.append(
+                lambda factory=factory, case=case, method_name=method_name: run_method(
                     factory,
                     case,
                     n_seeds=n_seeds,
@@ -218,4 +242,4 @@ def run_comparison(
                     method_name=method_name,
                 )
             )
-    return results
+    return context.run(tasks, label="bench.run_comparison")

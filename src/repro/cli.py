@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     impute.add_argument("--error-bound", type=float, default=0.02, help="SCIS epsilon")
     impute.add_argument("--seed", type=int, default=0)
     impute.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for parallelisable phases (SCIS's SSE "
+        "sampling); default: REPRO_WORKERS env var, else serial",
+    )
+    impute.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -121,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--initial-size", type=int, default=500)
     evaluate.add_argument("--error-bound", type=float, default=0.02)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for parallelisable phases (SCIS's SSE "
+        "sampling); default: REPRO_WORKERS env var, else serial",
+    )
     evaluate.add_argument(
         "--trace",
         metavar="PATH",
@@ -207,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--samples", type=int, default=96)
     bench.add_argument("--epochs", type=int, default=2)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the (method x dataset) grid; "
+        "default: REPRO_WORKERS env var, else serial",
+    )
     return parser
 
 
@@ -229,6 +250,7 @@ def _make_runner(args):
         error_bound=args.error_bound,
         dim=DimConfig(epochs=args.epochs),
         seed=args.seed,
+        workers=args.workers,
     )
     return SCIS(model, config)
 
@@ -409,10 +431,15 @@ def _cmd_bench(args) -> int:
     )
     from .obs import trace_to_dict
 
+    from .parallel import ExecutionContext
+
     start = time.perf_counter()
     with recording() as rec:
         results = run_smoke_bench(
-            n_samples=args.samples, epochs=args.epochs, seed=args.seed
+            n_samples=args.samples,
+            epochs=args.epochs,
+            seed=args.seed,
+            context=ExecutionContext.from_env(workers=args.workers),
         )
     trace = trace_to_dict(rec)
     baseline = snapshot_from_results(results, name=args.action)

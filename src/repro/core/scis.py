@@ -25,6 +25,7 @@ import numpy as np
 from ..data.dataset import IncompleteDataset
 from ..models.base import GenerativeImputer, impute_equation
 from ..obs import get_recorder, trace
+from ..parallel import ExecutionContext
 from ..tensor import no_grad
 from .dim import DIM, DimConfig, DimReport
 from .sse import SSE, SseConfig, SseResult
@@ -51,6 +52,11 @@ class ScisConfig:
     sse: SseConfig = field(default_factory=SseConfig)
     seed: int = 0
     impute_chunk: int = 4096
+    # Worker count for the parallelisable phases (currently SSE's k-sample
+    # test).  None defers to the REPRO_WORKERS environment variable; 0/1 run
+    # serially; >= 2 selects the fork-based process backend.  Thanks to
+    # spawn-key seeding the answer is identical either way.
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.validation_size is None:
@@ -126,6 +132,8 @@ class SCIS:
             split.validation.mask,
             config=cfg.sse,
             rng=self._rng,
+            seed=cfg.seed,
+            context=ExecutionContext.from_env(workers=cfg.workers),
         )
         with trace("scis.sse"):
             sse.prepare(split.initial.values, split.initial.mask)

@@ -40,9 +40,15 @@ import numpy as np
 from ..models.base import GenerativeImputer
 from ..nn import flatten_gradients, flatten_parameters, load_flat_parameters
 from ..obs import get_recorder, trace
+from ..parallel import ExecutionContext, derive_entropy, spawn_rng
 from ..tensor import no_grad
 
 __all__ = ["SseConfig", "SseResult", "SSE", "zeta", "eta"]
+
+# Spawn-key domain for the k-sample pass-probability draws; keyed further by
+# (candidate size n, sample index i) so each draw's stream is a pure function
+# of the root entropy — independent of call order, backend, and worker.
+_PASS_DOMAIN = "sse.pass_probability"
 
 
 def zeta(reg: float, n_features: int) -> float:
@@ -108,6 +114,11 @@ class SseResult:
         """R_t of the paper: n*/N."""
         return self.n_star / self.n_total
 
+    @property
+    def minimum_size(self) -> int:
+        """Alias for ``n_star`` — the estimated minimum training size."""
+        return self.n_star
+
 
 class SSE:
     """Estimates the minimum training sample size for a DIM-trained model.
@@ -122,7 +133,18 @@ class SSE:
     config:
         :class:`SseConfig`.
     rng:
-        Generator for parameter sampling and Hutchinson probes.
+        Generator for the fixed validation noise and Hutchinson probes.
+    seed:
+        Root entropy for the per-sample posterior draws.  The k-sample test
+        spawns one independent stream per ``(n, sample index)`` from this
+        value (see ``repro.parallel.seeding``), which makes
+        :meth:`pass_probability` a pure function of its arguments —
+        invariant to call order and identical under serial and process
+        execution.  Defaults to one integer drawn from ``rng``.
+    context:
+        :class:`repro.parallel.ExecutionContext` for the k-sample loop;
+        defaults to ``ExecutionContext.from_env()`` (serial unless
+        ``REPRO_WORKERS`` requests a pool).
     """
 
     def __init__(
@@ -132,10 +154,13 @@ class SSE:
         validation_mask: np.ndarray,
         config: Optional[SseConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
         self.model = model
         self.config = config if config is not None else SseConfig()
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.context = context if context is not None else ExecutionContext.from_env()
         self._values = np.nan_to_num(
             np.asarray(validation_values, dtype=np.float64), nan=0.0
         )
@@ -143,6 +168,7 @@ class SSE:
         # Fixed noise so D(θ_a, θ_b) reflects parameters only.
         self._noise = model.sample_noise(self._mask.shape, self.rng)
         self._theta0 = flatten_parameters(model.generator)
+        self._entropy = int(seed) if seed is not None else derive_entropy(self.rng)
         self._posterior_std_base: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -218,12 +244,45 @@ class SSE:
     # ------------------------------------------------------------------
     # Pass probability and search
     # ------------------------------------------------------------------
-    def _sample_theta(self, centre: np.ndarray, variance_scale: float) -> np.ndarray:
+    def _sample_theta(
+        self,
+        centre: np.ndarray,
+        variance_scale: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One posterior draw from ``N(centre, variance_scale · diag(H)⁻¹)``.
+
+        ``rng`` is threaded explicitly: the k-sample test passes a spawned
+        per-sample generator so draws never touch shared generator state
+        (shared state made results depend on the order pass-probability
+        evaluations happened to run in).
+        """
+        rng = rng if rng is not None else self.rng
         std = np.sqrt(max(variance_scale, 0.0)) * self._posterior_std_base
-        return centre + std * self.rng.standard_normal(centre.size)
+        return centre + std * rng.standard_normal(centre.size)
+
+    def _sampled_distance(self, n: int, index: int, eta_n: float, eta_big: float) -> float:
+        """D(θ_n, θ_N) for sampled pair ``index`` of the size-``n`` test.
+
+        Each pair is an independent task: it derives its own generator from
+        ``(entropy, n, index)``, loads its own perturbed parameters, and
+        returns a scalar — the unit of work the execution context fans out.
+        """
+        rng = spawn_rng(self._entropy, _PASS_DOMAIN, n, index)
+        theta_n = self._sample_theta(self._theta0, eta_n, rng)
+        theta_big = self._sample_theta(theta_n, eta_big, rng)
+        recon_n = self._reconstruct_validation(theta_n)
+        recon_big = self._reconstruct_validation(theta_big)
+        return self._masked_rms(recon_n, recon_big)
 
     def pass_probability(self, n: int, n_initial: int, n_total: int, d: int) -> float:
-        """Empirical estimate of P(D(θ_n, θ_N) ≤ ε) per Proposition 2."""
+        """Empirical estimate of P(D(θ_n, θ_N) ≤ ε) per Proposition 2.
+
+        The k sampled parameter pairs are independent, so they run through
+        the execution context — serially by default, fanned out across
+        workers when one is configured.  Per-sample spawn-key seeding makes
+        the estimate bit-identical across backends and call orders.
+        """
         if self._posterior_std_base is None:
             raise RuntimeError("call prepare() before pass_probability()")
         cfg = self.config
@@ -232,29 +291,30 @@ class SSE:
         # them out of the k-sample loop instead of recomputing per draw.
         eta_n = eta(cfg.reg, d, n_initial, n) * scale
         eta_big = (eta(cfg.reg, d, n, n_total) if n_total > n else 0.0) * scale
+        tasks = [
+            (lambda i=i: self._sampled_distance(n, i, eta_n, eta_big))
+            for i in range(cfg.n_parameter_samples)
+        ]
+        try:
+            distances = self.context.run(tasks, label=_PASS_DOMAIN)
+        finally:
+            # Tasks perturb the live generator (serial backend) or a forked
+            # copy (process backend); one θ₀ restore per call covers both.
+            load_flat_parameters(self.model.generator, self._theta0)
         passes = 0
         recorder = get_recorder()
-        try:
-            for _ in range(cfg.n_parameter_samples):
-                theta_n = self._sample_theta(self._theta0, eta_n)
-                theta_big = self._sample_theta(theta_n, eta_big)
-                recon_n = self._reconstruct_validation(theta_n)
-                recon_big = self._reconstruct_validation(theta_big)
-                distance = self._masked_rms(recon_n, recon_big)
-                if not np.isfinite(distance):
-                    # A NaN distance means a perturbed generator blew up;
-                    # count it as a fail but leave a health breadcrumb.
-                    if recorder.enabled:
-                        recorder.inc("health.issues")
-                        recorder.emit(
-                            "health.sse_nonfinite", n=n, distance=float(distance)
-                        )
-                    continue
-                if distance <= cfg.error_bound:
-                    passes += 1
-        finally:
-            # One θ₀ restore per call instead of one per sampled pair.
-            load_flat_parameters(self.model.generator, self._theta0)
+        for distance in distances:
+            if not np.isfinite(distance):
+                # A NaN distance means a perturbed generator blew up;
+                # count it as a fail but leave a health breadcrumb.
+                if recorder.enabled:
+                    recorder.inc("health.issues")
+                    recorder.emit(
+                        "health.sse_nonfinite", n=n, distance=float(distance)
+                    )
+                continue
+            if distance <= cfg.error_bound:
+                passes += 1
         return passes / cfg.n_parameter_samples
 
     def estimate_minimum_size(self, n_initial: int, n_total: int) -> SseResult:

@@ -159,8 +159,13 @@ class InMemoryRecorder(Recorder):
             self._spans.stack = stack
         return stack
 
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-ready trace: events, metric snapshot, bookkeeping."""
+    def to_dict(self, include_samples: bool = False) -> Dict[str, object]:
+        """JSON-ready trace: events, metric snapshot, bookkeeping.
+
+        ``include_samples`` adds each histogram's raw reservoir to the
+        snapshot so another recorder can :meth:`absorb` the trace with
+        exact moments (worker→parent merging in ``repro.parallel``).
+        """
         with self._lock:
             events = [event.to_dict() for event in self.events]
             dropped = self.dropped_events
@@ -170,8 +175,39 @@ class InMemoryRecorder(Recorder):
             "n_events": len(events),
             "dropped_events": dropped,
             "events": events,
-            "metrics": self._metrics.snapshot(),
+            "metrics": self._metrics.snapshot(include_samples=include_samples),
         }
+
+    def absorb(self, trace: Dict[str, object]) -> None:
+        """Merge a child recorder's trace dict into this recorder.
+
+        Used by :class:`repro.parallel.ExecutionContext` to fold per-worker
+        telemetry back into the parent: events are re-emitted (re-stamped
+        on this recorder's clock), counters add, gauges take the child's
+        last value, and histograms merge via :meth:`Histogram.absorb` —
+        count/total/mean/min/max exactly, quantiles approximately.  Callers
+        should absorb child traces in a deterministic order (task order).
+        """
+        for event in trace.get("events", []):
+            self.emit(event["name"], **event.get("fields", {}))
+        metrics = trace.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            self.metrics.counter(name).inc(value)
+        for name, value in metrics.get("gauges", {}).items():
+            if value is not None:
+                self.metrics.gauge(name).set(value)
+        for name, summary in metrics.get("histograms", {}).items():
+            self.metrics.histogram(name).absorb(
+                count=summary.get("count", 0),
+                total=summary.get("total", 0.0),
+                minimum=summary.get("min"),
+                maximum=summary.get("max"),
+                samples=summary.get("samples"),
+            )
+        dropped = int(trace.get("dropped_events", 0))
+        if dropped:
+            with self._lock:
+                self.dropped_events += dropped
 
 
 _NULL = NullRecorder()

@@ -94,6 +94,41 @@ class Histogram:
             if slot < self.max_samples:
                 self._samples[slot] = value
 
+    def absorb(
+        self,
+        count: int,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+        samples: Optional[List[float]] = None,
+    ) -> None:
+        """Fold another histogram's contents into this one.
+
+        Used when a parent recorder merges a worker's trace
+        (:meth:`repro.obs.recorder.InMemoryRecorder.absorb`).  The exact
+        moments — ``count``/``total``/``min``/``max`` and hence ``mean`` —
+        merge losslessly; the quantile reservoir is extended with the
+        child's (bounded) sample list, so percentiles remain an
+        approximation after a merge.
+        """
+        if count < 0:
+            raise ValueError(f"histogram {self.name!r} cannot absorb count {count}")
+        if count == 0:
+            return
+        self.count += int(count)
+        self.total += float(total)
+        if minimum is not None:
+            self.min = minimum if self.min is None else min(self.min, float(minimum))
+        if maximum is not None:
+            self.max = maximum if self.max is None else max(self.max, float(maximum))
+        for value in samples or ():
+            if len(self._samples) < self.max_samples:
+                self._samples.append(float(value))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.max_samples:
+                    self._samples[slot] = float(value)
+
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
@@ -108,8 +143,11 @@ class Histogram:
         rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
-    def summary(self) -> Dict[str, Optional[float]]:
-        return {
+    def summary(self, include_samples: bool = False) -> Dict[str, object]:
+        """Summary dict; ``include_samples`` adds the raw (bounded) reservoir
+        so a parent recorder can merge this histogram with exact moments and
+        approximate quantiles."""
+        out: Dict[str, object] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
@@ -119,6 +157,9 @@ class Histogram:
             "p90": self.percentile(90.0),
             "p99": self.percentile(99.0),
         }
+        if include_samples:
+            out["samples"] = list(self._samples)
+        return out
 
 
 class MetricsRegistry:
@@ -167,13 +208,18 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name, max_samples=max_samples)
             return self._histograms[name]
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-ready view of every metric, sorted by name."""
+    def snapshot(self, include_samples: bool = False) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view of every metric, sorted by name.
+
+        ``include_samples`` forwards to :meth:`Histogram.summary` so worker
+        traces can carry mergeable reservoirs.
+        """
         with self._lock:
             return {
                 "counters": {n: c.value for n, c in sorted(self._counters.items())},
                 "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
                 "histograms": {
-                    n: h.summary() for n, h in sorted(self._histograms.items())
+                    n: h.summary(include_samples=include_samples)
+                    for n, h in sorted(self._histograms.items())
                 },
             }

@@ -8,6 +8,7 @@ from .cost import (
 )
 from .divergence import (
     MaskingSinkhornLoss,
+    chunked_masking_sinkhorn_divergence,
     masking_sinkhorn_divergence,
     sinkhorn_divergence,
 )
@@ -26,5 +27,6 @@ __all__ = [
     "regularized_ot_value",
     "sinkhorn_divergence",
     "masking_sinkhorn_divergence",
+    "chunked_masking_sinkhorn_divergence",
     "MaskingSinkhornLoss",
 ]

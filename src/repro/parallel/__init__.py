@@ -1,0 +1,34 @@
+"""Parallel execution subsystem: backends, deterministic seeding, parity.
+
+Contract (full text in ``docs/parallel.md``):
+
+* :class:`ExecutionContext` runs a list of independent zero-argument tasks
+  under a ``serial`` or fork-based ``process`` backend and returns results
+  in submission order; pool failures fall back to serial with a
+  ``parallel.fallback`` obs event.
+* Per-task randomness comes from :mod:`repro.parallel.seeding`'s spawn-key
+  scheme, so results are a pure function of ``(entropy, domain, key)`` —
+  identical across backends, worker counts, and call order.
+* :mod:`repro.parallel.testing` turns that equivalence into an assertion
+  (:func:`assert_backend_parity`) used by the repo's parity suites.
+
+Layering: imports only :mod:`repro.obs` (and the standard library), so any
+compute module — ``repro.ot``, ``repro.core``, ``repro.bench`` — may use it.
+"""
+
+from .context import ExecutionContext, available_cpus, env_workers
+from .seeding import derive_entropy, domain_key, spawn_rng, spawn_rngs, spawn_seed
+from .testing import assert_backend_parity, run_with_backend
+
+__all__ = [
+    "ExecutionContext",
+    "available_cpus",
+    "env_workers",
+    "domain_key",
+    "spawn_seed",
+    "spawn_rng",
+    "spawn_rngs",
+    "derive_entropy",
+    "assert_backend_parity",
+    "run_with_backend",
+]

@@ -1,0 +1,202 @@
+"""Execution contexts: run independent task sets serially or on a pool.
+
+:class:`ExecutionContext` is the one execution primitive the rest of the
+stack uses for embarrassingly parallel work — SSE's k-sample pass-probability
+loop, the bench runner's (method × dataset) grid, and chunked evaluation-time
+Sinkhorn divergences.  Two backends share one contract:
+
+``serial``
+    Tasks run in submission order in the calling process.
+
+``process``
+    Tasks run on a fork-based ``multiprocessing`` pool.  Tasks may be
+    arbitrary closures (the fork child inherits them); only their *return
+    values* must be picklable.  Task exceptions propagate to the caller
+    exactly as they would serially.  Pool-infrastructure failures (fork
+    unavailable, nested daemonic pools, broken pipes) degrade gracefully:
+    the context emits a ``parallel.fallback`` obs event and re-runs the
+    task set serially — which is why tasks must be idempotent.
+
+Results always come back in submission order, and per-task randomness must
+go through :mod:`repro.parallel.seeding`, so the two backends are
+interchangeable bit-for-bit — a property the test suite enforces with
+:mod:`repro.parallel.testing`.
+
+Telemetry: when a recorder is attached, every batch emits a
+``parallel.tasks`` event; under the process backend each worker records
+into its own in-memory recorder and the parent absorbs those child traces
+(events, counters, gauges, histogram moments) in task order, so counters
+like ``bench.runs`` aggregate identically on both backends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs import get_recorder
+from ..obs.recorder import recording
+
+__all__ = ["ExecutionContext", "available_cpus", "env_workers"]
+
+BACKENDS = ("serial", "process")
+
+# Fork-inherited task table: _run_indexed_task must be importable (it is sent
+# to workers by name), while the tasks themselves may be closures — workers
+# reach them through the memory image inherited at fork time.
+_TASKS: Sequence[Callable[[], object]] = ()
+_CAPTURE_OBS: bool = False
+
+
+def _run_indexed_task(index: int) -> Tuple[str, object, Optional[dict]]:
+    """Worker entry point: run task ``index`` from the inherited table.
+
+    Task exceptions are returned (not raised) so the parent can tell a
+    failing *task* from a failing *pool*; unpicklable exceptions are
+    re-wrapped so the status tuple always survives the result pipe.
+    """
+    import pickle
+
+    task = _TASKS[index]
+    try:
+        if _CAPTURE_OBS:
+            with recording() as rec:
+                value = task()
+            return ("ok", value, rec.to_dict(include_samples=True))
+        return ("ok", task(), None)
+    except Exception as exc:  # noqa: BLE001 — transported to the parent
+        try:
+            pickle.dumps(exc)
+            payload: Exception = exc
+        except Exception:
+            payload = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return ("err", payload, None)
+
+
+def available_cpus() -> int:
+    """CPU count with a floor of 1 (``os.cpu_count`` may return ``None``)."""
+    return os.cpu_count() or 1
+
+
+def env_workers() -> int:
+    """Worker count requested via ``REPRO_WORKERS`` (0 when unset/invalid)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
+
+
+class ExecutionContext:
+    """Runs a list of zero-argument tasks under one backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"process"``.
+    workers:
+        Pool size for the process backend; ``None`` means ``REPRO_WORKERS``
+        if set, else :func:`available_cpus`.  A resolved count of 1 runs
+        serially (a one-worker pool costs fork time and buys nothing).
+    """
+
+    def __init__(self, backend: str = "serial", workers: Optional[int] = None) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.workers = workers
+
+    @classmethod
+    def from_env(cls, workers: Optional[int] = None) -> "ExecutionContext":
+        """The context a CLI/bench entry point should use by default.
+
+        ``workers`` (e.g. a ``--workers`` flag) wins; otherwise the
+        ``REPRO_WORKERS`` environment variable; otherwise serial.  A count
+        of 2+ selects the process backend.
+        """
+        if workers is None:
+            workers = env_workers()
+        if workers and workers > 1:
+            return cls(backend="process", workers=workers)
+        return cls(backend="serial")
+
+    def resolved_workers(self) -> int:
+        """The pool size the process backend would use right now."""
+        return self.workers if self.workers is not None else (env_workers() or available_cpus())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ExecutionContext(backend={self.backend!r}, workers={self.workers!r})"
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Callable[[], object]], label: str = "tasks") -> List[object]:
+        """Run ``tasks`` and return their results in submission order.
+
+        ``label`` names the batch in the ``parallel.tasks`` telemetry event.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        recorder = get_recorder()
+        workers = self.resolved_workers()
+        use_pool = self.backend == "process" and workers > 1 and len(tasks) > 1
+        if not use_pool:
+            if recorder.enabled:
+                recorder.inc("parallel.batches")
+                recorder.emit(
+                    "parallel.tasks",
+                    label=label,
+                    backend="serial",
+                    workers=1,
+                    n_tasks=len(tasks),
+                )
+            return [task() for task in tasks]
+        try:
+            outputs = self._run_pool(tasks, min(workers, len(tasks)))
+        except Exception as exc:  # pool infrastructure failed, not a task
+            if recorder.enabled:
+                recorder.inc("parallel.fallbacks")
+                recorder.emit(
+                    "parallel.fallback",
+                    label=label,
+                    workers=workers,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            return [task() for task in tasks]
+        if recorder.enabled:
+            recorder.inc("parallel.batches")
+            recorder.emit(
+                "parallel.tasks",
+                label=label,
+                backend="process",
+                workers=min(workers, len(tasks)),
+                n_tasks=len(tasks),
+            )
+        results: List[object] = []
+        for status, value, child_trace in outputs:
+            if status == "err":
+                raise value
+            # Absorbing in submission order keeps parent-side metrics
+            # deterministic regardless of which worker ran what.
+            if child_trace is not None and recorder.enabled:
+                recorder.absorb(child_trace)
+            results.append(value)
+        return results
+
+    def _run_pool(self, tasks, workers: int):
+        """One fork pool over the task table; raises on infrastructure errors."""
+        import multiprocessing
+
+        global _TASKS, _CAPTURE_OBS
+        context = multiprocessing.get_context("fork")  # ValueError on platforms without fork
+        _TASKS = tasks
+        _CAPTURE_OBS = get_recorder().enabled
+        try:
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_run_indexed_task, range(len(tasks)))
+        finally:
+            _TASKS = ()
+            _CAPTURE_OBS = False

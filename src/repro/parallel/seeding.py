@@ -1,0 +1,57 @@
+"""Deterministic per-task seeding for parallel execution.
+
+The parity guarantee of :mod:`repro.parallel` — serial and process backends
+produce bit-identical results — only holds if every task derives its
+randomness from *where it sits in the task set*, never from shared mutable
+generator state.  The scheme here is spawn-key seeding:
+
+    SeedSequence(entropy, spawn_key=(crc32(domain), *key))
+
+``entropy`` is the run's root seed, ``domain`` names the call site (e.g.
+``"sse.pass_probability"``) so two subsystems with the same numeric keys
+cannot collide, and ``*key`` positions the task (sample index, chunk index,
+evaluation size, ...).  The derived streams are independent by the
+SeedSequence spawning construction and depend only on ``(entropy, domain,
+key)`` — not on call order, worker assignment, or backend.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+import numpy as np
+
+__all__ = ["domain_key", "spawn_seed", "spawn_rng", "spawn_rngs", "derive_entropy"]
+
+
+def domain_key(domain: str) -> int:
+    """Stable 32-bit key for a call-site domain string (crc32, not hash():
+    str hashes are salted per process, which would break cross-process
+    determinism)."""
+    return zlib.crc32(domain.encode("utf-8"))
+
+
+def spawn_seed(entropy: int, domain: str, *key: int) -> np.random.SeedSequence:
+    """The SeedSequence for task ``key`` of ``domain`` under root ``entropy``."""
+    return np.random.SeedSequence(int(entropy), spawn_key=(domain_key(domain), *map(int, key)))
+
+
+def spawn_rng(entropy: int, domain: str, *key: int) -> np.random.Generator:
+    """A fresh Generator for task ``key`` — same stream on every backend."""
+    return np.random.default_rng(spawn_seed(entropy, domain, *key))
+
+
+def spawn_rngs(entropy: int, domain: str, n: int, *key: int) -> List[np.random.Generator]:
+    """``n`` independent Generators, one per task index appended to ``key``."""
+    return [spawn_rng(entropy, domain, *key, i) for i in range(n)]
+
+
+def derive_entropy(rng: np.random.Generator) -> int:
+    """One stable root-entropy integer drawn from ``rng``.
+
+    Advances the generator by exactly one draw; call it once at set-up time
+    (not per task) so the derived entropy — and everything spawned from it —
+    is a pure function of the generator's state at that moment.
+    """
+    return int(rng.integers(0, 2**63, dtype=np.uint64))

@@ -1,0 +1,105 @@
+"""Serial/parallel parity harness — the correctness gate for this package.
+
+A parallel substrate is only trustworthy if it is provably equivalent to
+serial execution.  :func:`assert_backend_parity` encodes that check as a
+reusable assertion: build the same task set once per backend/worker-count
+combination, run it, and compare results structurally — by default to the
+bit (``atol=rtol=0``).  The repo's own parity suites
+(``tests/test_parallel.py``, ``benchmarks/test_ext_parallel.py``) are built
+on it, and future PRs that add parallel call sites are expected to gate
+them the same way.
+
+``tasks_factory`` must build a *fresh* task list on every call: tasks may
+close over mutable state (models, caches), so reusing one list across
+backends would let the first run contaminate the second.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .context import ExecutionContext, available_cpus
+
+__all__ = ["DEFAULT_WORKER_COUNTS", "run_with_backend", "assert_backend_parity"]
+
+# The worker counts the parity gate exercises by default: degenerate pool,
+# smallest real pool, and everything the machine has.
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, available_cpus())
+
+
+def run_with_backend(
+    tasks_factory: Callable[[], Sequence[Callable[[], object]]],
+    backend: str,
+    workers: Optional[int] = None,
+    label: str = "parity",
+) -> List[object]:
+    """Build a fresh task set and run it under one backend."""
+    context = ExecutionContext(backend=backend, workers=workers)
+    return context.run(list(tasks_factory()), label=label)
+
+
+def _assert_equal(a: object, b: object, atol: float, rtol: float, path: str) -> None:
+    exact = atol == 0.0 and rtol == 0.0
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        assert a_arr.shape == b_arr.shape, (
+            f"parity mismatch at {path}: shapes {a_arr.shape} vs {b_arr.shape}"
+        )
+        same = (
+            np.array_equal(a_arr, b_arr)
+            if exact
+            else np.allclose(a_arr, b_arr, atol=atol, rtol=rtol, equal_nan=True)
+        )
+        assert same, f"parity mismatch at {path}: arrays differ"
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        assert set(a) == set(b), f"parity mismatch at {path}: keys {set(a)} vs {set(b)}"
+        for key in a:
+            _assert_equal(a[key], b[key], atol, rtol, f"{path}[{key!r}]")
+        return
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        assert len(a) == len(b), f"parity mismatch at {path}: lengths {len(a)} vs {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_equal(x, y, atol, rtol, f"{path}[{i}]")
+        return
+    if isinstance(a, float) and isinstance(b, float) and not exact:
+        assert np.isclose(a, b, atol=atol, rtol=rtol, equal_nan=True), (
+            f"parity mismatch at {path}: {a!r} vs {b!r}"
+        )
+        return
+    if hasattr(a, "__dataclass_fields__") and hasattr(b, "__dataclass_fields__"):
+        assert type(a) is type(b), f"parity mismatch at {path}: {type(a)} vs {type(b)}"
+        for name in a.__dataclass_fields__:
+            _assert_equal(
+                getattr(a, name), getattr(b, name), atol, rtol, f"{path}.{name}"
+            )
+        return
+    assert a == b, f"parity mismatch at {path}: {a!r} vs {b!r}"
+
+
+def assert_backend_parity(
+    tasks_factory: Callable[[], Sequence[Callable[[], object]]],
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    atol: float = 0.0,
+    rtol: float = 0.0,
+    label: str = "parity",
+) -> List[object]:
+    """Assert serial and process backends agree on ``tasks_factory``'s tasks.
+
+    Runs the task set once serially (the reference), then once per entry in
+    ``worker_counts`` under the process backend, comparing each result list
+    structurally (numbers, arrays, dicts, sequences, dataclasses).  With the
+    default ``atol=rtol=0`` the comparison is bit-exact.  Returns the serial
+    reference results for further assertions.
+    """
+    reference = run_with_backend(tasks_factory, "serial", label=label)
+    for workers in worker_counts:
+        candidate = run_with_backend(
+            tasks_factory, "process", workers=workers, label=label
+        )
+        _assert_equal(
+            candidate, reference, atol, rtol, f"process[workers={workers}]"
+        )
+    return reference

@@ -1,6 +1,9 @@
-"""Property-based tests (hypothesis) on core data structures and invariants."""
+"""Property-based tests (hypothesis) on core data structures and invariants,
+plus the seeded serial/process parity properties and golden determinism pins
+for the parallel execution subsystem."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -8,6 +11,7 @@ from hypothesis.extra.numpy import arrays
 from repro.data import IncompleteDataset, MinMaxNormalizer
 from repro.models import MeanImputer, impute_equation
 from repro.ot import sinkhorn, squared_euclidean_cost
+from repro.parallel import ExecutionContext, available_cpus, spawn_rng
 from repro.tensor import Tensor, ops
 
 finite_floats = st.floats(
@@ -144,3 +148,141 @@ class TestDataProperties:
         observed = ds.mask == 1.0
         assert np.allclose(imputed[observed], data[observed])
         assert not np.isnan(imputed).any()
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution: seeded-random parity properties and golden pins
+# ---------------------------------------------------------------------------
+
+PARITY_WORKER_COUNTS = sorted({1, 2, available_cpus()})
+
+_SSE_SETUP_CACHE = {}
+
+
+def _sse_setup():
+    """A deterministic lightly-trained GAIN + splits, built once per process."""
+    if "setup" not in _SSE_SETUP_CACHE:
+        from repro.core import DIM, DimConfig
+        from repro.data import ampute, holdout_split
+        from repro.models import GAINImputer
+
+        rng = np.random.default_rng(12345)
+        latent = rng.normal(size=(400, 2))
+        full = latent @ rng.normal(size=(2, 6)) + 0.05 * rng.normal(size=(400, 6))
+        ds = MinMaxNormalizer().fit_transform(
+            ampute(IncompleteDataset(full, name="small"), 0.3, "mcar", rng)
+        )
+        holdout = holdout_split(ds, 0.2, rng)
+        split = holdout.train.split_validation_initial(80, 80, rng)
+        model = GAINImputer(seed=0)
+        DIM(DimConfig(epochs=6)).train(model, split.initial, rng)
+        _SSE_SETUP_CACHE["setup"] = (model, split)
+    return _SSE_SETUP_CACHE["setup"]
+
+
+def _sse_estimate(context, seed):
+    from repro.core import SSE, SseConfig
+
+    model, split = _sse_setup()
+    sse = SSE(
+        model,
+        split.validation.values,
+        split.validation.mask,
+        SseConfig(error_bound=0.02),
+        rng=np.random.default_rng(0),
+        seed=seed,
+        context=context,
+    )
+    sse.prepare(split.initial.values, split.initial.mask)
+    return sse.estimate_minimum_size(80, 400)
+
+
+@pytest.mark.parallel
+class TestParallelParityProperties:
+    """Seeded-random configs: serial and process answers stay bit-identical."""
+
+    @given(st.integers(0, 2**63 - 1), st.integers(2, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_spawn_rng_tasks_bit_identical(self, entropy, n_tasks):
+        def run(context):
+            tasks = [
+                lambda i=i: spawn_rng(entropy, "prop", i).normal(size=3)
+                for i in range(n_tasks)
+            ]
+            return context.run(tasks, label="prop")
+
+        reference = run(ExecutionContext("serial"))
+        for workers in PARITY_WORKER_COUNTS:
+            candidate = run(ExecutionContext("process", workers=workers))
+            for ref, cand in zip(reference, candidate):
+                assert np.array_equal(ref, cand)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=4, deadline=None)
+    def test_sse_minimum_size_bit_identical(self, seed):
+        expected = _sse_estimate(ExecutionContext("serial"), seed)
+        for workers in PARITY_WORKER_COUNTS:
+            result = _sse_estimate(
+                ExecutionContext("process", workers=workers), seed
+            )
+            assert result.minimum_size == expected.minimum_size
+            assert result.evaluations == expected.evaluations
+
+    @given(st.integers(0, 999))
+    @settings(max_examples=3, deadline=None)
+    def test_bench_rmse_table_bit_identical(self, seed):
+        from repro.bench.runner import run_smoke_bench
+
+        reference = run_smoke_bench(
+            n_samples=64, epochs=1, seed=seed, context=ExecutionContext("serial")
+        )
+        expected = [(r.method, r.rmse_mean) for r in reference]
+        for workers in PARITY_WORKER_COUNTS:
+            candidate = run_smoke_bench(
+                n_samples=64,
+                epochs=1,
+                seed=seed,
+                context=ExecutionContext("process", workers=workers),
+            )
+            assert [(r.method, r.rmse_mean) for r in candidate] == expected
+
+
+class TestGoldenDeterminism:
+    """Regression pins: fixed seeds must keep producing these exact answers.
+
+    The pins use a tight relative tolerance (1e-9) rather than ``==`` so a
+    different BLAS build does not trip them, while any real behavioural
+    change — reordered RNG draws, a changed default, a dropped sample —
+    still fails loudly.  Regenerate by printing the new values if an
+    *intentional* change shifts them.
+    """
+
+    GOLDEN_N_STAR = 364
+    GOLDEN_EVALUATIONS = {
+        80: 0.0, 400: 1.0, 240: 0.05, 320: 0.55, 360: 0.85, 380: 1.0,
+        370: 1.0, 365: 1.0, 362: 0.95, 363: 0.95, 364: 1.0,
+    }
+    GOLDEN_SMOKE_RMSE = {
+        "mean": 0.301746696903149,
+        "knn": 0.25245939270961376,
+        "dim-gain": 0.333446642271172,
+        "dim-gain-adv": 0.32949946274227154,
+    }
+
+    @pytest.mark.parallel
+    def test_sse_golden_minimum_size(self):
+        for context in (ExecutionContext("serial"), ExecutionContext("process", workers=2)):
+            result = _sse_estimate(context, seed=99)
+            assert result.n_star == self.GOLDEN_N_STAR
+            assert result.minimum_size == self.GOLDEN_N_STAR
+            assert result.evaluations == pytest.approx(self.GOLDEN_EVALUATIONS)
+
+    @pytest.mark.parallel
+    def test_smoke_bench_golden_rmse(self):
+        from repro.bench.runner import run_smoke_bench
+
+        results = run_smoke_bench(context=ExecutionContext("serial"))
+        table = {r.method: r.rmse_mean for r in results}
+        assert set(table) == set(self.GOLDEN_SMOKE_RMSE)
+        for method, golden in self.GOLDEN_SMOKE_RMSE.items():
+            assert table[method] == pytest.approx(golden, rel=1e-9), method

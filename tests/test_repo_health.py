@@ -122,6 +122,44 @@ class TestObsDocConsistency:
         assert any(k.startswith("rmse.") for k in baseline["metrics"])
 
 
+class TestParallelDocConsistency:
+    """docs must track the repro.parallel surface, events, and knobs."""
+
+    def test_parallel_doc_exists(self):
+        assert (REPO_ROOT / "docs" / "parallel.md").exists()
+
+    def test_every_public_parallel_symbol_documented_in_api(self):
+        import repro.parallel
+
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        missing = [n for n in repro.parallel.__all__ if n not in api_text]
+        assert not missing, f"docs/api.md misses repro.parallel symbols: {missing}"
+
+    def test_parallel_events_documented(self):
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "parallel.tasks",
+            "parallel.fallback",
+            "parallel.batches",
+            "parallel.fallbacks",
+        ):
+            assert name in obs_text, f"docs/observability.md misses {name}"
+
+    def test_workers_knobs_documented(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        readme = (REPO_ROOT / "README.md").read_text()
+        parallel_doc = (REPO_ROOT / "docs" / "parallel.md").read_text()
+        for text, where in ((api_text, "api.md"), (readme, "README.md"), (parallel_doc, "parallel.md")):
+            assert "--workers" in text, f"{where} misses --workers"
+            assert "REPRO_WORKERS" in text, f"{where} misses REPRO_WORKERS"
+
+    def test_parity_suites_referenced(self):
+        parallel_doc = (REPO_ROOT / "docs" / "parallel.md").read_text()
+        for path in ("tests/test_parallel.py", "benchmarks/test_ext_parallel.py"):
+            assert path in parallel_doc
+            assert (REPO_ROOT / path).exists()
+
+
 class TestRegistryConsistency:
     def test_registry_names_match_imputer_name_attribute(self):
         from repro.models.registry import REGISTRY

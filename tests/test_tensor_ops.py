@@ -208,6 +208,90 @@ class TestShapeOps:
         check_gradients(lambda a, b: ops.where(condition, a, b), [a, b])
 
 
+def _sweep_cases(rng):
+    """One gradcheck case per differentiable op in ``ops.__all__``.
+
+    Inputs steer clear of kinks (relu/abs at 0, clip at its bounds, max
+    ties) so finite differences stay well-posed.
+    """
+
+    def t(*shape, shift=0.0):
+        return Tensor(rng.normal(size=shape) + shift, requires_grad=True)
+
+    def pos(*shape):
+        return Tensor(np.abs(rng.normal(size=shape)) + 0.5, requires_grad=True)
+
+    condition = rng.random((3, 4)) > 0.5
+    weights = Tensor(rng.normal(size=(4,)))
+    clip_data = Tensor(
+        np.array([[-2.0, -0.5, 0.3, 1.7], [0.6, -1.6, 2.1, 0.0]]),
+        requires_grad=True,
+    )
+    return {
+        "add": (lambda a, b: ops.add(a, b), [t(3, 4), t(3, 4)]),
+        "sub": (lambda a, b: ops.sub(a, b), [t(3, 4), t(3, 4)]),
+        "mul": (lambda a, b: ops.mul(a, b), [t(3, 4), t(3, 4)]),
+        "div": (lambda a, b: ops.div(a, b), [t(3, 4), pos(3, 4)]),
+        "neg": (lambda a: ops.neg(a), [t(3, 4)]),
+        "pow": (lambda a: ops.pow(a, 3.0), [pos(3, 4)]),
+        "matmul": (lambda a, b: ops.matmul(a, b), [t(3, 4), t(4, 2)]),
+        "exp": (lambda a: ops.exp(a), [t(4, 3)]),
+        "log": (lambda a: ops.log(a), [pos(4, 3)]),
+        "sqrt": (lambda a: ops.sqrt(a), [pos(4, 3)]),
+        "abs": (lambda a: ops.abs(a), [t(4, 3, shift=0.05)]),
+        "tanh": (lambda a: ops.tanh(a), [t(4, 3)]),
+        "sigmoid": (lambda a: ops.sigmoid(a), [t(4, 3)]),
+        "relu": (lambda a: ops.relu(a), [t(4, 3, shift=0.05)]),
+        "leaky_relu": (lambda a: ops.leaky_relu(a), [t(4, 3, shift=0.05)]),
+        "softplus": (lambda a: ops.softplus(a), [t(4, 3)]),
+        "softmax": (lambda a: ops.softmax(a, axis=1) @ weights, [t(3, 4)]),
+        "log_softmax": (
+            lambda a: ops.log_softmax(a, axis=-1).mean(),
+            [t(3, 4)],
+        ),
+        "clip": (lambda a: ops.clip(a, -1.0, 1.0), [clip_data]),
+        "sum": (lambda a: ops.sum(a, axis=1), [t(3, 4)]),
+        "mean": (lambda a: ops.mean(a, axis=0), [t(3, 4)]),
+        "max": (lambda a: ops.max(a, axis=0), [t(4, 5)]),
+        "reshape": (lambda a: ops.reshape(a, (2, 6)), [t(3, 4)]),
+        "transpose": (lambda a: ops.transpose(a), [t(3, 4)]),
+        "concat": (
+            lambda a, b: ops.concat([a, b], axis=1),
+            [t(3, 2), t(3, 4)],
+        ),
+        "getitem": (lambda a: ops.getitem(a, (slice(1, 4), slice(0, 2))), [t(5, 4)]),
+        "where": (lambda a, b: ops.where(condition, a, b), [t(3, 4), t(3, 4)]),
+    }
+
+
+class TestGradcheckSweep:
+    """Coverage gate: every op in ``ops.__all__`` must carry a gradcheck case.
+
+    Adding an op to the table without extending ``_sweep_cases`` fails here
+    by construction, so autodiff coverage cannot silently rot.
+    """
+
+    # Ops that return plain ndarrays and never touch the tape.
+    NON_TAPE_OPS = {"dropout_mask"}
+
+    @pytest.mark.parametrize("name", sorted(ops.__all__))
+    def test_op_has_passing_gradcheck(self, rng, name):
+        if name in self.NON_TAPE_OPS:
+            out = ops.dropout_mask((3, 4), 0.25, rng)
+            assert isinstance(out, np.ndarray) and not isinstance(out, Tensor)
+            return
+        cases = _sweep_cases(rng)
+        assert name in cases, (
+            f"ops.{name} has no gradcheck case; add one to _sweep_cases"
+        )
+        fn, inputs = cases[name]
+        check_gradients(fn, inputs)
+
+    def test_sweep_has_no_stale_entries(self, rng):
+        stale = set(_sweep_cases(rng)) - set(ops.__all__)
+        assert not stale, f"_sweep_cases covers removed ops: {stale}"
+
+
 class TestDropoutMask:
     def test_zero_rate_is_identity(self, rng):
         mask = ops.dropout_mask((100, 10), 0.0, rng)
