@@ -10,6 +10,7 @@ from .baselines import (
     write_baseline,
 )
 from .charts import ascii_chart, sparkline
+from .serving import ServingBenchResult, run_serving_bench
 from .runner import (
     BenchCase,
     MethodResult,
@@ -28,6 +29,8 @@ __all__ = [
     "run_method",
     "run_comparison",
     "run_smoke_bench",
+    "ServingBenchResult",
+    "run_serving_bench",
     "MetricDelta",
     "snapshot_from_results",
     "snapshot_from_trace",

@@ -1,0 +1,218 @@
+"""Serving bench: throughput, latency, and coalescing under concurrent load.
+
+``run_serving_bench`` stands up the full serving path end to end — train a
+DIM imputer and a statistical baseline, persist both through the
+:class:`repro.serve.ModelRegistry`, start an :class:`ImputationServer`,
+and push a workload at it — then distils the run into a versioned
+``BENCH_serving.json`` baseline for ``repro obs diff`` gating (the same
+flow the smoke bench uses for RMSE).
+
+Three phases, three metric families:
+
+1. **Burst** (deterministic): requests are enqueued *before* the
+   dispatcher starts, so exactly ``min(burst, max_batch_requests)``
+   requests coalesce into each batch regardless of machine speed.  Gated
+   metrics: ``serving.burst_batches`` (dispatches needed for the burst)
+   and ``serving.burst_uncoalesced`` (requests that missed the largest
+   batch) — both lower-is-better and machine-independent.
+2. **Concurrent** (timed): client threads fire single-row requests plus a
+   bulk CSV at the live server.  Timing metrics (muted in CI):
+   ``serving.latency_p50_seconds`` / ``serving.latency_p99_seconds`` and
+   ``serving.seconds_per_1k_rows`` (inverse throughput).
+3. **Correctness** (gated): every response must pass observed cells
+   through bit-exactly and contain no non-finite imputations —
+   ``serving.correctness_failures`` and ``serving.errors`` must stay 0.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core import DimConfig, DimImputer
+from ..data import MinMaxNormalizer, generate, read_csv, write_csv
+from ..models import GAINImputer, MeanImputer
+from ..obs import recording, trace_to_dict
+from ..serve import ImputationServer, ModelRegistry, ServeConfig
+from .baselines import BASELINE_KIND, BASELINE_VERSION
+
+__all__ = ["ServingBenchResult", "run_serving_bench"]
+
+
+@dataclass
+class ServingBenchResult:
+    """Baseline dict + raw trace + workload bookkeeping."""
+
+    baseline: Dict[str, object]
+    trace: Dict[str, object]
+    seconds: float
+    n_requests: int
+    n_rows: int
+    dim_key: str
+    mean_key: str
+
+
+def _check_response(raw: np.ndarray, response) -> int:
+    """Count correctness failures: pass-through drift or non-finite cells."""
+    if not response.ok:
+        return 1
+    failures = 0
+    raw = np.atleast_2d(raw)
+    mask = ~np.isnan(raw)
+    if not np.array_equal(raw[mask], response.values[mask]):
+        failures += 1
+    if not np.isfinite(response.values).all():
+        failures += 1
+    return failures
+
+
+def run_serving_bench(
+    n_samples: int = 240,
+    epochs: int = 2,
+    seed: int = 0,
+    burst: int = 8,
+    clients: int = 4,
+    requests_per_client: int = 6,
+    bulk_rows: int = 64,
+    registry_root: Optional[str] = None,
+) -> ServingBenchResult:
+    """Run the serving bench and return the distilled baseline.
+
+    The registry is built in a temporary directory unless ``registry_root``
+    is given; the bench is self-contained and leaves no state behind in
+    the default case beyond the returned dicts.
+    """
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-serving-bench-") as tmp:
+        root = Path(registry_root) if registry_root is not None else Path(tmp)
+        registry = ModelRegistry(root / "registry")
+
+        # -- train + register: the cold-path cost paid exactly once ------
+        generated = generate("trial", n_samples=n_samples, seed=seed)
+        normalizer = MinMaxNormalizer()
+        normalized = normalizer.fit_transform(generated.dataset)
+        dim = DimImputer(
+            GAINImputer(epochs=epochs, seed=seed),
+            config=DimConfig(epochs=epochs),
+            seed=seed,
+        )
+        dim.fit(normalized)
+        dim_key = registry.save(
+            dim, dataset=generated.dataset, normalizer=normalizer
+        ).key
+        mean_key = registry.save(
+            MeanImputer().fit(normalized),
+            dataset=generated.dataset,
+            normalizer=normalizer,
+        ).key
+
+        rng = np.random.default_rng(seed)
+        raw = generated.dataset.values
+        pick = lambda: raw[rng.integers(0, raw.shape[0])].copy()
+
+        correctness_failures = 0
+        errors = 0
+        latencies = []
+        n_requests = 0
+        n_rows = 0
+
+        with recording() as rec:
+            # -- phase 1: deterministic coalescing burst -----------------
+            config = ServeConfig(batch_window_seconds=0.002)
+            server = ImputationServer(registry, config=config)
+            burst_rows = [pick() for _ in range(burst)]
+            burst_futures = [server.submit(mean_key, row) for row in burst_rows]
+            server.start()
+            burst_responses = [f.result(timeout=60) for f in burst_futures]
+            for row, response in zip(burst_rows, burst_responses):
+                correctness_failures += _check_response(row, response)
+                errors += 0 if response.ok else 1
+            n_requests += burst
+            n_rows += burst
+            # A burst of B requests through batches of sizes c_i takes
+            # sum over requests of 1/c_i dispatches.
+            coalesced = [r.coalesced for r in burst_responses]
+            burst_batches = int(round(sum(1.0 / c for c in coalesced)))
+            burst_uncoalesced = burst - max(coalesced)
+
+            # -- phase 2: concurrent load --------------------------------
+            def client(worker: int) -> None:
+                local_rng = np.random.default_rng(seed + 1000 + worker)
+                for _ in range(requests_per_client):
+                    row = raw[local_rng.integers(0, raw.shape[0])].copy()
+                    t0 = time.perf_counter()
+                    response = server.impute_rows(dim_key, row, timeout=120)
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        correctness_failures_list[0] += _check_response(row, response)
+                        errors_list[0] += 0 if response.ok else 1
+
+            lock = threading.Lock()
+            correctness_failures_list = [0]
+            errors_list = [0]
+            concurrent_start = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(w,)) for w in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+
+            # Bulk CSV request from the main thread, concurrent with the
+            # single-row clients.
+            bulk_dataset = generated.dataset.take(
+                list(range(min(bulk_rows, generated.dataset.n_samples))), name="bulk"
+            )
+            in_path, out_path = root / "bulk_in.csv", root / "bulk_out.csv"
+            write_csv(bulk_dataset, in_path)
+            bulk_response = server.impute_csv(dim_key, str(in_path), str(out_path))
+            # Pass-through is bit-exact w.r.t. the request *as received* — the
+            # CSV's 10-significant-digit floats, not the pre-write matrix.
+            bulk_raw = read_csv(in_path).values
+            correctness_failures += _check_response(bulk_raw, bulk_response)
+            errors += 0 if bulk_response.ok else 1
+
+            for thread in threads:
+                thread.join()
+            concurrent_seconds = time.perf_counter() - concurrent_start
+            correctness_failures += correctness_failures_list[0]
+            errors += errors_list[0]
+            single_requests = clients * requests_per_client
+            n_requests += single_requests + 1
+            n_rows += single_requests + bulk_dataset.n_samples
+
+            server.shutdown(drain=True)
+            trace = trace_to_dict(rec)
+
+    latency_arr = np.asarray(latencies, dtype=np.float64)
+    metrics: Dict[str, float] = {
+        "serving.burst_batches": float(burst_batches),
+        "serving.burst_uncoalesced": float(burst_uncoalesced),
+        "serving.correctness_failures": float(correctness_failures),
+        "serving.errors": float(errors),
+        "serving.latency_p50_seconds": float(np.percentile(latency_arr, 50)),
+        "serving.latency_p99_seconds": float(np.percentile(latency_arr, 99)),
+        "serving.seconds_per_1k_rows": 1000.0 * concurrent_seconds
+        / max(single_requests + bulk_dataset.n_samples, 1),
+    }
+    baseline = {
+        "version": BASELINE_VERSION,
+        "kind": BASELINE_KIND,
+        "name": "serving",
+        "metrics": metrics,
+    }
+    return ServingBenchResult(
+        baseline=baseline,
+        trace=trace,
+        seconds=time.perf_counter() - start,
+        n_requests=n_requests,
+        n_rows=n_rows,
+        dim_key=dim_key,
+        mean_key=mean_key,
+    )

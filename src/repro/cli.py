@@ -25,8 +25,16 @@ Four subcommands cover the everyday workflows:
     or nested flame JSON.
 
 ``repro bench``
-    Run the fixed smoke bench and write a ``BENCH_<name>.json`` baseline
-    for later ``repro obs diff`` gating.
+    Run the fixed smoke bench (``smoke``) or the serving bench
+    (``serving``) and write a ``BENCH_<name>.json`` baseline for later
+    ``repro obs diff`` gating.
+
+``repro serve``
+    Imputation-as-a-service (contract: ``docs/serving.md``): ``fit``
+    trains an imputer and persists it into a model registry, ``list``
+    shows registry entries, and ``run`` starts a long-lived serving
+    process that answers JSONL impute requests — single rows and bulk
+    CSVs — with micro-batching, until EOF or a shutdown request.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -41,7 +49,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .core import SCIS, DimConfig, ScisConfig
+from .core import SCIS, DimConfig, DimImputer, ScisConfig
 from .data import (
     IncompleteDataset,
     MinMaxNormalizer,
@@ -206,11 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser("bench", help="run a bench and snapshot a baseline")
-    bench.add_argument("action", choices=["smoke"])
+    bench.add_argument("action", choices=["smoke", "serving"])
     bench.add_argument(
         "--out",
-        default="BENCH_smoke.json",
-        help="baseline JSON to write (default: BENCH_smoke.json)",
+        default=None,
+        help="baseline JSON to write (default: BENCH_<action>.json)",
     )
     bench.add_argument(
         "--trace",
@@ -227,6 +235,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the (method x dataset) grid; "
         "default: REPRO_WORKERS env var, else serial",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="model registry + long-lived imputation serving"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_action", required=True)
+
+    serve_fit = serve_sub.add_parser(
+        "fit", help="train an imputer on a CSV and persist it to a registry"
+    )
+    serve_fit.add_argument("input", help="training CSV (empty/NA/nan cells missing)")
+    serve_fit.add_argument("--registry", required=True, help="registry directory")
+    serve_fit.add_argument(
+        "--method",
+        default="gain",
+        choices=sorted(REGISTRY),
+        help="imputation method (default: gain)",
+    )
+    serve_fit.add_argument(
+        "--dim",
+        action="store_true",
+        help="train the (GAN) method under the DIM masking-Sinkhorn loss",
+    )
+    serve_fit.add_argument("--epochs", type=int, default=100)
+    serve_fit.add_argument("--seed", type=int, default=0)
+
+    serve_list = serve_sub.add_parser("list", help="list registry entries")
+    serve_list.add_argument("--registry", required=True, help="registry directory")
+
+    serve_run = serve_sub.add_parser(
+        "run",
+        help="serve JSONL impute requests from stdin (or a file) until "
+        "EOF or a shutdown request",
+    )
+    serve_run.add_argument("--registry", required=True, help="registry directory")
+    serve_run.add_argument(
+        "--input",
+        default="-",
+        help="JSONL request stream (default: - for stdin)",
+    )
+    serve_run.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="max requests coalesced into one model invocation (default: 64)",
+    )
+    serve_run.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds the dispatcher waits to coalesce more requests "
+        "after the first arrives (default: 0.005)",
+    )
+    serve_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for multi-key batches; default: serial "
+        "(REPRO_WORKERS is deliberately not consulted — forking from the "
+        "dispatcher thread is opt-in)",
+    )
+    serve_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record serve.* telemetry and write a JSON trace to PATH on exit",
     )
     return parser
 
@@ -433,6 +507,10 @@ def _cmd_bench(args) -> int:
 
     from .parallel import ExecutionContext
 
+    if args.out is None:
+        args.out = f"BENCH_{args.action}.json"
+    if args.action == "serving":
+        return _bench_serving(args)
     start = time.perf_counter()
     with recording() as rec:
         results = run_smoke_bench(
@@ -458,6 +536,149 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _bench_serving(args) -> int:
+    """``repro bench serving``: run the serving bench, snapshot a baseline."""
+    from .bench.baselines import write_baseline
+    from .bench.serving import run_serving_bench
+
+    result = run_serving_bench(epochs=args.epochs, seed=args.seed)
+    write_baseline(result.baseline, args.out)
+    if args.trace is not None:
+        write_json_trace(result.trace, args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    print(
+        f"serving bench: {result.n_requests} requests / {result.n_rows} rows "
+        f"in {result.seconds:.1f}s, {len(result.baseline['metrics'])} metrics "
+        f"-> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve {fit,list,run}`` with hardened registry error paths."""
+    from .serve import RegistryError
+
+    handlers = {
+        "fit": _serve_fit,
+        "list": _serve_list,
+        "run": _serve_run,
+    }
+    try:
+        return handlers[args.serve_action](args)
+    except RegistryError as exc:
+        # Registry problems are user-input problems, not crashes: one line
+        # naming the offending key (when there is one), exit code 2.
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _serve_fit(args) -> int:
+    from .serve import ModelRegistry
+
+    dataset = read_csv(args.input)
+    print(f"loaded {dataset}", file=sys.stderr)
+    normalizer = MinMaxNormalizer()
+    normalized = normalizer.fit_transform(dataset)
+    seedless = {"mean", "median", "mode", "knn", "constant", "em"}
+    kwargs = {} if args.method in seedless else {"seed": args.seed}
+    if args.method in ("gain", "ginn", "datawig", "rrsi", "midae", "vaei", "miwae",
+                       "eddi", "hivae"):
+        kwargs["epochs"] = args.epochs
+    model = make_imputer(args.method, **kwargs)
+    if args.dim:
+        if not isinstance(model, GenerativeImputer):
+            print(
+                f"repro serve: --dim requires a GAN-based method (gain, ginn); "
+                f"got {args.method!r}",
+                file=sys.stderr,
+            )
+            return 2
+        model = DimImputer(model, config=DimConfig(epochs=args.epochs), seed=args.seed)
+    start = time.perf_counter()
+    model.fit(normalized)
+    entry = ModelRegistry(args.registry).save(
+        model, dataset=dataset, normalizer=normalizer
+    )
+    print(
+        f"trained + registered {entry.model_name} in "
+        f"{time.perf_counter() - start:.1f}s -> {args.registry}",
+        file=sys.stderr,
+    )
+    # The key alone on stdout, so scripts can do KEY=$(repro serve fit ...).
+    print(entry.key)
+    return 0
+
+
+def _serve_list(args) -> int:
+    from .serve import ModelRegistry
+
+    entries = ModelRegistry(args.registry).entries()
+    if not entries:
+        print(f"no entries in registry {args.registry}", file=sys.stderr)
+        return 0
+    for entry in entries:
+        print(
+            f"{entry['key']}  model={entry['model_name']}  "
+            f"d={entry['n_features']}  schema={entry['schema_fingerprint']}"
+        )
+    return 0
+
+
+def _serve_run(args) -> int:
+    from .parallel import ExecutionContext
+    from .serve import ImputationServer, ModelRegistry, ServeConfig, serve_jsonl
+
+    registry = ModelRegistry(args.registry)
+    keys = registry.keys()  # validates the manifest up front
+    if not keys:
+        print(
+            f"repro serve: registry {args.registry} has no entries "
+            f"(run `repro serve fit` first)",
+            file=sys.stderr,
+        )
+        return 2
+    context = (
+        ExecutionContext.from_env(workers=args.workers)
+        if args.workers is not None
+        else ExecutionContext()
+    )
+    server = ImputationServer(
+        registry,
+        config=ServeConfig(
+            max_batch_requests=args.max_batch,
+            batch_window_seconds=args.batch_window,
+        ),
+        context=context,
+    )
+    print(
+        f"serving {len(keys)} registry entries from {args.registry} "
+        f"(JSONL on stdin, EOF or {{\"op\": \"shutdown\"}} to stop)",
+        file=sys.stderr,
+    )
+
+    def run(in_stream) -> dict:
+        if args.trace is None:
+            return serve_jsonl(server, in_stream, sys.stdout)
+        with recording() as rec:
+            stats = serve_jsonl(server, in_stream, sys.stdout)
+        write_json_trace(rec, args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+        return stats
+
+    if args.input == "-":
+        stats = run(sys.stdin)
+    else:
+        with open(args.input) as handle:
+            stats = run(handle)
+    print(
+        f"served {server.served_requests} requests / {server.served_rows} rows "
+        f"({stats['errors']} errors)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: dispatch to the selected subcommand, return exit code."""
     args = build_parser().parse_args(argv)
@@ -468,6 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "profile": _cmd_profile,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,48 @@
+"""Imputation-as-a-service: model registry + long-lived serving layer.
+
+The paper's whole point (DIM + SSE) is making GAN imputers cheap enough to
+train that imputation can run at production scale — which is wasted if
+every impute request retrains from scratch.  This package closes the loop
+(contract: ``docs/serving.md``):
+
+* :class:`ModelRegistry` persists trained imputers to disk keyed by
+  dataset-schema fingerprint + config hash, with a versioned manifest and
+  save→load→impute round-trip validation (``repro.serve.registry``).
+* :class:`ImputationServer` loads registry entries once into a long-lived
+  process and serves impute requests — single rows and bulk CSVs — through
+  a request queue with micro-batching/coalescing on a
+  :class:`repro.parallel.ExecutionContext` (``repro.serve.server``).
+* :func:`serve_jsonl` is the ``repro serve run`` transport: JSONL requests
+  in, JSONL responses out, graceful drain-then-exit shutdown.
+
+The serving bench (rows/sec, p50/p99 latency under concurrent load) lives
+in :mod:`repro.bench.serving` and gates CI through the ``BENCH_serving.json``
+baseline exactly like RMSE does.
+"""
+
+from .registry import (
+    LoadedModel,
+    ModelRegistry,
+    RegistryEntry,
+    RegistryError,
+    config_id,
+    registry_key,
+    schema_fingerprint,
+    schema_of,
+)
+from .server import ImputationServer, ImputeResponse, ServeConfig, serve_jsonl
+
+__all__ = [
+    "RegistryError",
+    "RegistryEntry",
+    "LoadedModel",
+    "ModelRegistry",
+    "schema_of",
+    "schema_fingerprint",
+    "config_id",
+    "registry_key",
+    "ServeConfig",
+    "ImputeResponse",
+    "ImputationServer",
+    "serve_jsonl",
+]

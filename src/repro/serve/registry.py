@@ -1,0 +1,550 @@
+"""Model registry: persist trained imputers keyed by schema + config.
+
+A registry is a directory of *entries*, one per (model family, dataset
+schema, configuration) triple, plus a versioned ``manifest.json`` index.
+Keys are content-derived and stable::
+
+    <model_name>-<schema_fingerprint>-<config_id>
+    e.g.  dim-gain-0f41ae2bd1c8-9be02c1a77d4
+
+* ``schema_fingerprint`` hashes the dataset's column names and types, so a
+  model trained for one table shape can never silently serve another.
+* ``config_id`` hashes the imputer's constructor configuration (recovered
+  generically from its ``__init__`` signature) plus any caller-supplied
+  extras (e.g. the ``DimConfig`` used to train it), so two differently
+  configured models of the same family occupy distinct entries.
+
+Each entry directory holds ``entry.json`` (schema, config, normaliser
+statistics, bookkeeping) and ``weights.npz`` (the fitted state — generator
+parameters for :class:`~repro.models.base.GenerativeImputer` families via
+the same (de)serialisation conventions as :mod:`repro.serialize`, fitted
+arrays for the statistical families).  Every ``save`` round-trips the entry
+through ``load`` and verifies the rebuilt model imputes a deterministic
+probe batch *bit-identically* before the manifest is updated, so a corrupt
+or non-reconstructible entry can never become visible.
+
+All user-input failure modes (missing key, corrupt manifest/entry/weights,
+schema mismatch) raise :class:`RegistryError` naming the offending key —
+the CLI maps these to a one-line error and exit code 2, never a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..data.dataset import IncompleteDataset
+from ..data.normalize import MinMaxNormalizer
+from ..models.base import GenerativeImputer, Imputer
+from ..models.registry import REGISTRY, make_imputer
+from ..models.simple import KNNImputer, _ColumnStatImputer
+
+__all__ = [
+    "RegistryError",
+    "RegistryEntry",
+    "LoadedModel",
+    "ModelRegistry",
+    "schema_of",
+    "schema_fingerprint",
+    "config_id",
+    "registry_key",
+]
+
+MANIFEST_VERSION = 1
+MANIFEST_KIND = "model-registry"
+MANIFEST_NAME = "manifest.json"
+ENTRY_NAME = "entry.json"
+WEIGHTS_NAME = "weights.npz"
+
+_HASH_CHARS = 12  # 48 bits of sha256 — collision-safe at registry scale
+_PROBE_ROWS = 6
+_PROBE_SEED = 20240522  # fixed: probe imputations must be reproducible
+
+
+class RegistryError(ValueError):
+    """A registry entry is missing, corrupt, or schema-incompatible.
+
+    ``key`` names the offending entry (or ``None`` for registry-level
+    problems such as a corrupt manifest).
+    """
+
+    def __init__(self, message: str, key: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+# ----------------------------------------------------------------------
+# Keys: schema fingerprints and config hashes
+# ----------------------------------------------------------------------
+def schema_of(dataset: IncompleteDataset) -> Dict[str, list]:
+    """The serving-relevant schema of a dataset: column names and types."""
+    return {
+        "feature_names": list(dataset.feature_names),
+        "feature_types": list(dataset.feature_types),
+    }
+
+
+def _stable_hash(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_HASH_CHARS]
+
+
+def schema_fingerprint(schema: Union[IncompleteDataset, Dict[str, list]]) -> str:
+    """Stable fingerprint of a dataset schema (names + types)."""
+    if isinstance(schema, IncompleteDataset):
+        schema = schema_of(schema)
+    return _stable_hash(
+        {
+            "feature_names": list(schema["feature_names"]),
+            "feature_types": list(schema["feature_types"]),
+        }
+    )
+
+
+def _ctor_config(model: object) -> Dict[str, object]:
+    """Recover a model's constructor configuration from its attributes.
+
+    Every imputer in this codebase stores its ``__init__`` parameters as
+    same-named scalar attributes, so the signature doubles as the
+    serialisable config schema; non-scalar or absent parameters are skipped
+    (the rebuilt model falls back to its defaults for those).
+    """
+    config: Dict[str, object] = {}
+    for name, param in inspect.signature(type(model).__init__).parameters.items():
+        if name == "self" or param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if hasattr(model, name):
+            value = getattr(model, name)
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                config[name] = value
+    return config
+
+
+def config_id(model_name: str, config: Dict[str, object]) -> str:
+    """Stable hash of a model's identifying configuration."""
+    return _stable_hash({"model": model_name, "config": config})
+
+
+def registry_key(model_name: str, schema_fp: str, cfg_id: str) -> str:
+    return f"{model_name}-{schema_fp}-{cfg_id}"
+
+
+# ----------------------------------------------------------------------
+# Entries
+# ----------------------------------------------------------------------
+@dataclass
+class RegistryEntry:
+    """One persisted model: identity, schema, config, and file locations."""
+
+    key: str
+    model_name: str
+    kind: str  # "generative" | "column_stats" | "knn"
+    inner_name: Optional[str]  # rebuildable family name (e.g. "gain" for dim-gain)
+    schema: Dict[str, list]
+    schema_fp: str
+    config: Dict[str, object]
+    config_id: str
+    n_features: int
+    created: float
+    normalizer: Optional[Dict[str, list]] = None
+    extra_config: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": MANIFEST_VERSION,
+            "key": self.key,
+            "model_name": self.model_name,
+            "kind": self.kind,
+            "inner_name": self.inner_name,
+            "schema": self.schema,
+            "schema_fingerprint": self.schema_fp,
+            "config": self.config,
+            "config_id": self.config_id,
+            "n_features": self.n_features,
+            "created": self.created,
+            "normalizer": self.normalizer,
+            "extra_config": self.extra_config,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], key: str) -> "RegistryEntry":
+        try:
+            return cls(
+                key=data["key"],
+                model_name=data["model_name"],
+                kind=data["kind"],
+                inner_name=data.get("inner_name"),
+                schema=data["schema"],
+                schema_fp=data["schema_fingerprint"],
+                config=data["config"],
+                config_id=data["config_id"],
+                n_features=int(data["n_features"]),
+                created=float(data["created"]),
+                normalizer=data.get("normalizer"),
+                extra_config=data.get("extra_config", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(
+                f"registry entry {key!r} has a corrupt {ENTRY_NAME} "
+                f"(missing or malformed field: {exc})",
+                key=key,
+            ) from exc
+
+
+@dataclass
+class LoadedModel:
+    """A registry entry rehydrated for serving."""
+
+    entry: RegistryEntry
+    model: Imputer
+    normalizer: Optional[MinMaxNormalizer]
+
+
+# ----------------------------------------------------------------------
+# (De)hydration of the supported model families
+# ----------------------------------------------------------------------
+def _unwrap(model: object):
+    """Peel DIM-style wrappers down to the persistable inner imputer.
+
+    Returns ``(outer_name, inner_model, extra_config)``: wrappers such as
+    :class:`repro.core.DimImputer` delegate ``transform`` to their wrapped
+    generative model, so persisting the inner model (under the wrapper's
+    name and training config) reproduces the wrapper's imputations exactly.
+    """
+    inner = getattr(model, "model", None)
+    if inner is not None and isinstance(inner, GenerativeImputer):
+        extra: Dict[str, object] = {}
+        config = getattr(model, "config", None)
+        if config is not None and hasattr(config, "__dataclass_fields__"):
+            extra = {
+                name: getattr(config, name)
+                for name in config.__dataclass_fields__
+                if isinstance(getattr(config, name), (bool, int, float, str))
+                or getattr(config, name) is None
+            }
+        return getattr(model, "name", inner.name), inner, extra
+    return getattr(model, "name", type(model).__name__), model, {}
+
+
+def _dehydrate(model: Imputer):
+    """Split a fitted model into (kind, inner_name, arrays, ctor config)."""
+    if isinstance(model, GenerativeImputer):
+        state = model.generator.state_dict()  # raises RuntimeError if unbuilt
+        arrays = {f"param/{name}": value for name, value in state.items()}
+        return "generative", model.name, arrays, _ctor_config(model)
+    if isinstance(model, _ColumnStatImputer):
+        if model._fill is None:
+            raise RegistryError(
+                f"cannot register an unfitted {type(model).__name__}"
+            )
+        return "column_stats", model.name, {"fill": model._fill}, _ctor_config(model)
+    if isinstance(model, KNNImputer):
+        if model._train_values is None:
+            raise RegistryError("cannot register an unfitted KNNImputer")
+        arrays = {
+            "train_values": model._train_values,
+            "train_mask": model._train_mask,
+            "column_means": model._column_means,
+        }
+        return "knn", model.name, arrays, _ctor_config(model)
+    raise RegistryError(
+        f"model family {type(model).__name__!r} is not registry-persistable "
+        f"(supported: GenerativeImputer, column statistics, KNN)"
+    )
+
+
+def _rehydrate(entry: RegistryEntry, arrays: Dict[str, np.ndarray]) -> Imputer:
+    """Rebuild a servable model from an entry's metadata and weights."""
+    name = entry.inner_name
+    if name not in REGISTRY:
+        raise RegistryError(
+            f"registry entry {entry.key!r} names unknown model family {name!r}",
+            key=entry.key,
+        )
+    try:
+        model = make_imputer(name, **entry.config)
+    except TypeError as exc:
+        raise RegistryError(
+            f"registry entry {entry.key!r} has a config incompatible with "
+            f"{name!r}: {exc}",
+            key=entry.key,
+        ) from exc
+    try:
+        if entry.kind == "generative":
+            model.build(entry.n_features)
+            state = {
+                key[len("param/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("param/")
+            }
+            model.generator.load_state_dict(state)
+            model._fitted = True
+        elif entry.kind == "column_stats":
+            model._fill = np.asarray(arrays["fill"], dtype=np.float64)
+            model._fitted = True
+        elif entry.kind == "knn":
+            model._train_values = np.asarray(arrays["train_values"], dtype=np.float64)
+            model._train_mask = np.asarray(arrays["train_mask"], dtype=np.float64)
+            model._column_means = np.asarray(arrays["column_means"], dtype=np.float64)
+            model._fitted = True
+        else:
+            raise RegistryError(
+                f"registry entry {entry.key!r} has unknown kind {entry.kind!r}",
+                key=entry.key,
+            )
+    except (KeyError, ValueError) as exc:
+        raise RegistryError(
+            f"registry entry {entry.key!r} has corrupt weights: {exc}",
+            key=entry.key,
+        ) from exc
+    return model
+
+
+def _probe_dataset(schema: Dict[str, list]) -> IncompleteDataset:
+    """A tiny deterministic dataset matching ``schema``, for validation."""
+    names = list(schema["feature_names"])
+    rng = np.random.default_rng(_PROBE_SEED)
+    values = rng.random((_PROBE_ROWS, len(names)))
+    missing = rng.random(values.shape) < 0.4
+    missing[0, :] = False  # one fully observed row exercises pass-through
+    missing[1, :] = True  # one fully missing row exercises the model path
+    values[missing] = np.nan
+    return IncompleteDataset(
+        values,
+        feature_names=names,
+        feature_types=list(schema["feature_types"]),
+        name="registry-probe",
+    )
+
+
+def _normalizer_state(normalizer: Optional[MinMaxNormalizer]) -> Optional[Dict[str, list]]:
+    if normalizer is None:
+        return None
+    if normalizer.minima is None:
+        raise RegistryError("cannot register an unfitted normalizer")
+    return {
+        "kind": "minmax",
+        "minima": [float(v) for v in normalizer.minima],
+        "ranges": [float(v) for v in normalizer.ranges],
+    }
+
+
+def _rebuild_normalizer(state: Optional[Dict[str, list]]) -> Optional[MinMaxNormalizer]:
+    if state is None:
+        return None
+    normalizer = MinMaxNormalizer()
+    normalizer.minima = np.asarray(state["minima"], dtype=np.float64)
+    normalizer.ranges = np.asarray(state["ranges"], dtype=np.float64)
+    return normalizer
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class ModelRegistry:
+    """Directory-backed store of trained imputers with a versioned manifest.
+
+    ``save`` is atomic from a reader's point of view: the entry directory is
+    fully written and round-trip validated before the manifest names it, and
+    the manifest itself is written via rename.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _read_manifest(self, must_exist: bool = False) -> Dict[str, object]:
+        path = self.manifest_path
+        if not path.exists():
+            if must_exist:
+                raise RegistryError(f"no model registry at {self.root} (missing {MANIFEST_NAME})")
+            return {"version": MANIFEST_VERSION, "kind": MANIFEST_KIND, "entries": {}}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"corrupt registry manifest {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("kind") != MANIFEST_KIND:
+            raise RegistryError(
+                f"{path} is not a model-registry manifest "
+                f"(kind={data.get('kind') if isinstance(data, dict) else type(data).__name__!r})"
+            )
+        if data.get("version") != MANIFEST_VERSION:
+            raise RegistryError(
+                f"{path} has unsupported manifest version {data.get('version')!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        if not isinstance(data.get("entries"), dict):
+            raise RegistryError(f"{path} has no 'entries' object")
+        return data
+
+    def _write_manifest(self, manifest: Dict[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.manifest_path)
+
+    def keys(self) -> List[str]:
+        """All registered keys (empty when the registry does not exist yet)."""
+        return sorted(self._read_manifest()["entries"])
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Manifest rows (summary metadata) for every registered entry."""
+        manifest = self._read_manifest()
+        return [dict(manifest["entries"][key], key=key) for key in sorted(manifest["entries"])]
+
+    # -- save ----------------------------------------------------------
+    def save(
+        self,
+        model: Imputer,
+        dataset: Optional[IncompleteDataset] = None,
+        schema: Optional[Dict[str, list]] = None,
+        normalizer: Optional[MinMaxNormalizer] = None,
+        extra_config: Optional[Dict[str, object]] = None,
+        validate: bool = True,
+    ) -> RegistryEntry:
+        """Persist a fitted model; returns the validated entry.
+
+        ``dataset`` or ``schema`` supplies the schema the model was trained
+        for.  ``normalizer`` (the fitted :class:`MinMaxNormalizer` used at
+        training time) travels with the entry so the serving layer scales
+        requests identically.  With ``validate`` (default) the entry is
+        reloaded and must impute a deterministic probe batch bit-identically
+        to the in-memory model before it becomes visible in the manifest.
+        """
+        if schema is None:
+            if dataset is None:
+                raise RegistryError("save() needs a dataset or an explicit schema")
+            schema = schema_of(dataset)
+        outer_name, inner, wrapper_extra = _unwrap(model)
+        kind, inner_name, arrays, ctor = _dehydrate(inner)
+        extras = dict(wrapper_extra)
+        if extra_config:
+            extras.update(extra_config)
+        schema_fp = schema_fingerprint(schema)
+        cfg_id = config_id(outer_name, {"ctor": ctor, "extra": extras})
+        key = registry_key(outer_name, schema_fp, cfg_id)
+        entry = RegistryEntry(
+            key=key,
+            model_name=outer_name,
+            kind=kind,
+            inner_name=inner_name,
+            schema={k: list(v) for k, v in schema.items()},
+            schema_fp=schema_fp,
+            config=ctor,
+            config_id=cfg_id,
+            n_features=len(schema["feature_names"]),
+            created=time.time(),
+            normalizer=_normalizer_state(normalizer),
+            extra_config=extras,
+        )
+
+        entry_dir = self.root / key
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        np.savez(entry_dir / WEIGHTS_NAME, **arrays)
+        (entry_dir / ENTRY_NAME).write_text(
+            json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+        if validate:
+            reference = model.transform(_probe_dataset(schema))
+            loaded = self._load_entry(entry)
+            candidate = loaded.model.transform(_probe_dataset(schema))
+            if not np.array_equal(reference, candidate, equal_nan=True):
+                raise RegistryError(
+                    f"round-trip validation failed for registry entry {key!r}: "
+                    f"reloaded model does not impute the probe batch "
+                    f"bit-identically",
+                    key=key,
+                )
+
+        manifest = self._read_manifest()
+        manifest["entries"][key] = {
+            "model_name": outer_name,
+            "kind": kind,
+            "schema_fingerprint": schema_fp,
+            "config_id": cfg_id,
+            "n_features": entry.n_features,
+            "created": entry.created,
+        }
+        self._write_manifest(manifest)
+        return entry
+
+    # -- load ----------------------------------------------------------
+    def load(self, key: str) -> LoadedModel:
+        """Rehydrate the entry named ``key`` (manifest-checked)."""
+        manifest = self._read_manifest(must_exist=True)
+        if key not in manifest["entries"]:
+            known = ", ".join(sorted(manifest["entries"])) or "<none>"
+            raise RegistryError(
+                f"no registry entry {key!r} in {self.root} (known keys: {known})",
+                key=key,
+            )
+        return self._load_entry_by_key(key)
+
+    def _load_entry_by_key(self, key: str) -> LoadedModel:
+        entry_path = self.root / key / ENTRY_NAME
+        try:
+            data = json.loads(entry_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"registry entry {key!r} is corrupt ({entry_path}: {exc})", key=key
+            ) from exc
+        return self._load_entry(RegistryEntry.from_dict(data, key=key))
+
+    def _load_entry(self, entry: RegistryEntry) -> LoadedModel:
+        weights_path = self.root / entry.key / WEIGHTS_NAME
+        try:
+            with np.load(weights_path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError) as exc:
+            raise RegistryError(
+                f"registry entry {entry.key!r} has corrupt weights "
+                f"({weights_path}: {exc})",
+                key=entry.key,
+            ) from exc
+        model = _rehydrate(entry, arrays)
+        return LoadedModel(
+            entry=entry, model=model, normalizer=_rebuild_normalizer(entry.normalizer)
+        )
+
+    # -- checks and maintenance ---------------------------------------
+    def check_schema(
+        self, entry: RegistryEntry, schema: Union[IncompleteDataset, Dict[str, list]]
+    ) -> None:
+        """Raise :class:`RegistryError` unless ``schema`` matches the entry."""
+        fingerprint = schema_fingerprint(schema)
+        if fingerprint != entry.schema_fp:
+            raise RegistryError(
+                f"schema mismatch for registry entry {entry.key!r}: entry was "
+                f"trained for schema {entry.schema_fp}, request has {fingerprint}",
+                key=entry.key,
+            )
+
+    def delete(self, key: str) -> None:
+        """Drop ``key`` from the manifest and remove its files."""
+        manifest = self._read_manifest(must_exist=True)
+        if key not in manifest["entries"]:
+            raise RegistryError(f"no registry entry {key!r} in {self.root}", key=key)
+        del manifest["entries"][key]
+        self._write_manifest(manifest)
+        entry_dir = self.root / key
+        for name in (WEIGHTS_NAME, ENTRY_NAME):
+            path = entry_dir / name
+            if path.exists():
+                path.unlink()
+        if entry_dir.exists() and not any(entry_dir.iterdir()):
+            entry_dir.rmdir()

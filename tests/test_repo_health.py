@@ -160,6 +160,87 @@ class TestParallelDocConsistency:
             assert (REPO_ROOT / path).exists()
 
 
+class TestServingDocConsistency:
+    """docs must track the repro.serve surface, events, and CLI commands."""
+
+    def test_serving_doc_exists(self):
+        assert (REPO_ROOT / "docs" / "serving.md").exists()
+
+    def test_every_public_serve_symbol_documented_in_api(self):
+        import repro.serve
+
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        missing = [n for n in repro.serve.__all__ if n not in api_text]
+        assert not missing, f"docs/api.md misses repro.serve symbols: {missing}"
+
+    def test_serve_cli_commands_documented(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        readme = (REPO_ROOT / "README.md").read_text()
+        for phrase in ("repro serve fit", "repro serve list", "repro serve run",
+                       "repro bench serving"):
+            assert phrase in api_text, f"docs/api.md misses `{phrase}`"
+        for phrase in ("repro serve fit", "repro serve run", "repro bench serving"):
+            assert phrase in readme, f"README.md misses `{phrase}`"
+
+    def test_serve_events_documented(self):
+        serving_doc = (REPO_ROOT / "docs" / "serving.md").read_text()
+        obs_doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "serve.request",
+            "serve.batch",
+            "serve.evict",
+            "serve.queue_depth",
+            "serve.requests",
+            "serve.batches",
+            "serve.errors",
+            "serve.evictions",
+            "serve.latency_seconds",
+            "serve.coalesced",
+        ):
+            assert name in serving_doc, f"docs/serving.md misses {name}"
+        for name in ("serve.request", "serve.batch", "serve.evict"):
+            assert name in obs_doc, f"docs/observability.md misses {name}"
+
+    def test_serving_doc_cross_linked(self):
+        for doc in ("architecture.md", "observability.md", "api.md"):
+            text = (REPO_ROOT / "docs" / doc).read_text()
+            assert "serving.md" in text, f"docs/{doc} does not link docs/serving.md"
+        assert "docs/serving.md" in (REPO_ROOT / "README.md").read_text()
+
+    def test_serving_doc_references_real_files(self):
+        serving_doc = (REPO_ROOT / "docs" / "serving.md").read_text()
+        for rel_path in re.findall(r"repro/[\w/]+\.py", serving_doc):
+            assert (REPO_ROOT / "src" / rel_path).exists(), (
+                f"docs/serving.md references missing src/{rel_path}"
+            )
+
+    def test_committed_serving_baseline_is_loadable_and_gated(self):
+        from repro.bench.baselines import load_baseline
+
+        baseline = load_baseline(REPO_ROOT / "BENCH_serving.json")
+        assert baseline["kind"] == "bench-baseline"
+        assert baseline["name"] == "serving"
+        metrics = baseline["metrics"]
+        # The committed baseline must assert a clean serving path: CI diffs
+        # against these, so nonzero values here would mask regressions.
+        assert metrics["serving.correctness_failures"] == 0.0
+        assert metrics["serving.errors"] == 0.0
+        assert metrics["serving.burst_batches"] >= 1.0
+
+    def test_serve_cli_parser_wired(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "fit", "a.csv", "--registry", "reg", "--method", "gain"]
+        )
+        assert args.serve_action == "fit"
+        args = parser.parse_args(["serve", "run", "--registry", "reg"])
+        assert args.serve_action == "run"
+        args = parser.parse_args(["bench", "serving"])
+        assert args.action == "serving"
+
+
 class TestRegistryConsistency:
     def test_registry_names_match_imputer_name_attribute(self):
         from repro.models.registry import REGISTRY

@@ -1,0 +1,85 @@
+"""Serving bench: baseline shape, gated metrics, diff-flow compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.bench.baselines import diff_baselines, load_baseline
+from repro.bench.serving import run_serving_bench
+
+GATED = (
+    "serving.burst_batches",
+    "serving.burst_uncoalesced",
+    "serving.correctness_failures",
+    "serving.errors",
+)
+TIMED = (
+    "serving.latency_p50_seconds",
+    "serving.latency_p99_seconds",
+    "serving.seconds_per_1k_rows",
+)
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    # One tiny run shared by every assertion in this module.
+    return run_serving_bench(
+        n_samples=48,
+        epochs=1,
+        burst=4,
+        clients=2,
+        requests_per_client=2,
+        bulk_rows=8,
+    )
+
+
+class TestServingBench:
+    def test_baseline_shape(self, bench_result):
+        baseline = bench_result.baseline
+        assert baseline["kind"] == "bench-baseline"
+        assert baseline["name"] == "serving"
+        for name in GATED + TIMED:
+            assert name in baseline["metrics"], name
+
+    def test_correctness_and_errors_are_zero(self, bench_result):
+        metrics = bench_result.baseline["metrics"]
+        assert metrics["serving.correctness_failures"] == 0.0
+        assert metrics["serving.errors"] == 0.0
+
+    def test_burst_fully_coalesces(self, bench_result):
+        metrics = bench_result.baseline["metrics"]
+        # All burst requests were queued before the dispatcher started, so
+        # they coalesce into one dispatch and none miss the big batch.
+        assert metrics["serving.burst_batches"] == 1.0
+        assert metrics["serving.burst_uncoalesced"] == 0.0
+
+    def test_trace_contains_serve_events(self, bench_result):
+        events = bench_result.trace["events"]
+        batches = [e for e in events if e["name"] == "serve.batch"]
+        assert batches, "bench trace must contain serve.batch events"
+        # The acceptance criterion: queue batching visibly coalesced >1
+        # request into one model invocation.
+        assert max(e["fields"]["n_requests"] for e in batches) > 1
+
+    def test_workload_bookkeeping(self, bench_result):
+        assert bench_result.n_requests == 4 + 2 * 2 + 1
+        assert bench_result.n_rows == 4 + 2 * 2 + 8
+        assert bench_result.dim_key.startswith("dim-gain-")
+        assert bench_result.mean_key.startswith("mean-")
+        assert np.isfinite(
+            [bench_result.baseline["metrics"][n] for n in TIMED]
+        ).all()
+
+    def test_self_diff_is_clean(self, bench_result):
+        deltas = diff_baselines(
+            bench_result.baseline, bench_result.baseline, time_threshold=1e9
+        )
+        assert deltas
+        assert not any(d.regressed for d in deltas)
+
+    def test_committed_baseline_matches_current_schema(self, bench_result):
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).resolve().parent.parent.parent
+        committed = load_baseline(root / "BENCH_serving.json")
+        assert committed["name"] == "serving"
+        assert set(committed["metrics"]) == set(bench_result.baseline["metrics"])
