@@ -49,7 +49,9 @@ def _train(cached):
     # dim.epoch summary event that advances the counter.
     iterations, seconds, epoch = {}, {}, 0
     for event in rec.events:
-        if event.name == "sinkhorn.solve":
+        # DIM defaults to the stacked solver; both event kinds carry the
+        # total iteration count in "iterations".
+        if event.name in ("sinkhorn.solve", "sinkhorn.batched_solve"):
             iterations[epoch] = iterations.get(epoch, 0) + event.fields["iterations"]
         elif event.name == "span" and event.fields.get("span") == "dim.epoch":
             seconds[epoch] = event.fields["seconds"]

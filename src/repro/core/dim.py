@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..data.batches import iterate_batches
+from ..data.batches import BatchPlan, iterate_batches
 from ..data.dataset import IncompleteDataset
 from ..models.base import GenerativeImputer
 from ..nn import masked_mse_loss
@@ -72,6 +72,10 @@ class DimConfig:
     debias: bool = True
     sinkhorn_warm_start: bool = True
     sinkhorn_cache_self_terms: bool = True
+    # Stack each step's cross/self-term OT problems into one batched
+    # log-domain solve (repro.ot.sinkhorn_batched); False restores the
+    # per-problem loop solver.
+    sinkhorn_batched: bool = True
     # None derives the policy: fixed iff warm-start or self-term caching is on.
     fixed_batch_order: Optional[bool] = None
     # Early stopping: stop when the epoch-mean loss has not improved by
@@ -113,6 +117,7 @@ class DIM:
             debias=self.config.debias,
             warm_start=self.config.sinkhorn_warm_start,
             cache_self_terms=self.config.sinkhorn_cache_self_terms,
+            batched=self.config.sinkhorn_batched,
         )
 
     def train(
@@ -147,7 +152,17 @@ class DIM:
         # Keys only make sense when the partition repeats; without a fixed
         # order every batch is new and the stores would grow per step.
         use_batch_keys = caching and fixed_order
-        order = rng.permutation(dataset.n_samples) if fixed_order else None
+        if fixed_order:
+            plan = BatchPlan(
+                batch_size=cfg.batch_size,
+                order="fixed",
+                permutation=rng.permutation(dataset.n_samples),
+                yield_indices=True,
+            )
+        else:
+            plan = BatchPlan(
+                batch_size=cfg.batch_size, order="shuffled", yield_indices=True
+            )
 
         recorder = get_recorder()
         monitor = HealthMonitor(policy=cfg.on_divergence)
@@ -163,12 +178,7 @@ class DIM:
             adv_d_losses: List[float] = []
             with trace("dim.epoch"):
                 for values, mask, index in iterate_batches(
-                    dataset,
-                    cfg.batch_size,
-                    rng=rng,
-                    drop_last=False,
-                    yield_indices=True,
-                    order=order,
+                    dataset, rng=rng, plan=plan
                 ):
                     if values.shape[0] < 2:
                         continue  # the square Sinkhorn plan degenerates at n=1

@@ -1,7 +1,7 @@
 """Data layer: incomplete datasets, normalisation, missingness, generators."""
 
 from . import covid
-from .batches import iterate_batches
+from .batches import BatchPlan, iterate_batches
 from .covid import SPECS, DatasetSpec, GeneratedData, dataset_names, generate
 from .dataset import IncompleteDataset, SplitResult
 from .io import read_csv, write_csv
@@ -33,6 +33,7 @@ __all__ = [
     "holdout_split",
     "HoldoutSplit",
     "iterate_batches",
+    "BatchPlan",
     "read_csv",
     "write_csv",
     "covid",

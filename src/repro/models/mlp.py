@@ -18,7 +18,8 @@ from ..nn import mlp, mse_loss
 from ..nn.module import Parameter
 from ..optim import Adam
 from ..ot import squared_euclidean_cost
-from ..ot.sinkhorn import entropy, sinkhorn
+from ..ot.batched import sinkhorn_batched
+from ..ot.sinkhorn import SinkhornConfig, entropy
 from ..tensor import Tensor, no_grad
 from .base import Imputer
 from .ml import _IterativeColumnImputer
@@ -160,12 +161,19 @@ class RRSIImputer(Imputer):
             current = mask_t * observed_t + (1.0 - mask_t) * free
             batch_a, batch_b = current[first], current[second]
             with no_grad():
-                cost_ab = squared_euclidean_cost(batch_a.data, batch_b.data)
-                cost_aa = squared_euclidean_cost(batch_a.data, batch_a.data)
-                cost_bb = squared_euclidean_cost(batch_b.data, batch_b.data)
-                plan_ab = sinkhorn(cost_ab, self.reg, max_iter=100, tol=1e-6).plan
-                plan_aa = sinkhorn(cost_aa, self.reg, max_iter=100, tol=1e-6).plan
-                plan_bb = sinkhorn(cost_bb, self.reg, max_iter=100, tol=1e-6).plan
+                # The batches share a size, so the cross and self-term
+                # problems stack into one batched solve.
+                stacked = sinkhorn_batched(
+                    np.stack(
+                        [
+                            squared_euclidean_cost(batch_a.data, batch_b.data),
+                            squared_euclidean_cost(batch_a.data, batch_a.data),
+                            squared_euclidean_cost(batch_b.data, batch_b.data),
+                        ]
+                    ),
+                    SinkhornConfig(reg=self.reg, max_iter=100, tol=1e-6),
+                )
+                plan_ab, plan_aa, plan_bb = stacked.plan
 
             def _term(xa: Tensor, xb: Tensor, plan: np.ndarray) -> Tensor:
                 sq_a = (xa * xa).sum(axis=1, keepdims=True)

@@ -1,5 +1,7 @@
-"""Optimal-transport toolkit: exact OT, Sinkhorn, masking Sinkhorn divergence."""
+"""Optimal-transport toolkit: exact OT, Sinkhorn (loop and batched),
+masking Sinkhorn divergence."""
 
+from .batched import BatchedSinkhornResult, sinkhorn_batched
 from .cost import (
     masked_cost_matrix,
     masked_cost_matrix_tensor,
@@ -13,7 +15,13 @@ from .divergence import (
     sinkhorn_divergence,
 )
 from .exact import exact_ot
-from .sinkhorn import SinkhornResult, entropy, regularized_ot_value, sinkhorn
+from .sinkhorn import (
+    SinkhornConfig,
+    SinkhornResult,
+    entropy,
+    regularized_ot_value,
+    sinkhorn,
+)
 
 __all__ = [
     "squared_euclidean_cost",
@@ -22,7 +30,10 @@ __all__ = [
     "masked_cost_matrix_tensor",
     "exact_ot",
     "sinkhorn",
+    "sinkhorn_batched",
+    "SinkhornConfig",
     "SinkhornResult",
+    "BatchedSinkhornResult",
     "entropy",
     "regularized_ot_value",
     "sinkhorn_divergence",

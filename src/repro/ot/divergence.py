@@ -11,6 +11,14 @@ squared-Euclidean costs.  The corrective self-terms debias the entropic
 regulariser so the divergence is non-negative and zero iff the two masked
 point clouds coincide.
 
+All three ``OT_λ^m`` problems share one shape whenever the compared clouds
+have the same number of rows (always true under Algorithm 1, where ``x̄``
+is a reconstruction of ``x``), so by default they are stacked into a single
+:func:`repro.ot.sinkhorn_batched` solve — one backend-dispatched
+``logsumexp`` sweep per iteration instead of three.  ``batched=False``
+restores the per-problem loop solves; both paths agree to solver parity
+(bit-exact on the NumPy backend).
+
 Differentiability (Proposition 1) is realised with the envelope theorem: the
 optimal plans ``P*`` are solved *off-tape* with log-domain Sinkhorn, then the
 loss value is re-assembled from differentiable cost matrices with the plans
@@ -22,15 +30,16 @@ held constant, so ``backward()`` yields exactly the barycentric-map gradient
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs import get_recorder
 from ..parallel import ExecutionContext
 from ..tensor import Tensor, as_tensor, no_grad
+from .batched import sinkhorn_batched
 from .cost import masked_cost_matrix, masked_cost_matrix_tensor, squared_euclidean_cost
-from .sinkhorn import SinkhornResult, entropy, sinkhorn
+from .sinkhorn import SinkhornConfig, SinkhornResult, _coerce_config, entropy, sinkhorn
 
 __all__ = [
     "sinkhorn_divergence",
@@ -40,55 +49,102 @@ __all__ = [
 ]
 
 
+def _solve_stack(
+    costs: Sequence[np.ndarray],
+    config: SinkhornConfig,
+    batched: bool,
+    init: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> List[SinkhornResult]:
+    """Solve same-shape problems stacked (or looped when ``batched=False``).
+
+    ``init`` is a stacked ``(f, g)`` warm start; rows of zeros are exactly a
+    cold start, so a partially warm stack is expressed by zero rows.
+    """
+    if batched and len({c.shape for c in costs}) == 1:
+        result = sinkhorn_batched(np.stack(costs), config, init=init)
+        return [result.problem(k) for k in range(len(costs))]
+    return [
+        sinkhorn(
+            cost,
+            config,
+            init=None if init is None else (init[0][k], init[1][k]),
+        )
+        for k, cost in enumerate(costs)
+    ]
+
+
 def sinkhorn_divergence(
     x: np.ndarray,
     y: np.ndarray,
-    reg: float,
-    max_iter: int = 500,
-    tol: float = 1e-9,
+    config: Optional[SinkhornConfig] = None,
+    *,
+    batched: bool = True,
+    **legacy,
 ) -> float:
-    """Debiased (unmasked) Sinkhorn divergence between two point clouds."""
-    cross = sinkhorn(squared_euclidean_cost(x, y), reg, max_iter=max_iter, tol=tol).value
-    self_x = sinkhorn(squared_euclidean_cost(x, x), reg, max_iter=max_iter, tol=tol).value
-    self_y = sinkhorn(squared_euclidean_cost(y, y), reg, max_iter=max_iter, tol=tol).value
-    return 2.0 * cross - self_x - self_y
+    """Debiased (unmasked) Sinkhorn divergence between two point clouds.
+
+    When ``x`` and ``y`` have the same number of rows the cross and two
+    self-term problems share a shape and are solved as one stacked batch;
+    otherwise (or with ``batched=False``) they fall back to loop solves.
+    The legacy ``sinkhorn_divergence(x, y, reg, ...)`` form is accepted for
+    one release with a ``DeprecationWarning``.
+    """
+    cfg = _coerce_config(config, legacy, "sinkhorn_divergence")
+    cross, self_x, self_y = _solve_stack(
+        [
+            squared_euclidean_cost(x, y),
+            squared_euclidean_cost(x, x),
+            squared_euclidean_cost(y, y),
+        ],
+        cfg,
+        batched,
+    )
+    return 2.0 * cross.value - self_x.value - self_y.value
 
 
 def masking_sinkhorn_divergence(
     x_bar: np.ndarray,
     x: np.ndarray,
     mask: np.ndarray,
-    reg: float,
+    config: Optional[SinkhornConfig] = None,
+    *,
     mask_bar: Optional[np.ndarray] = None,
-    max_iter: int = 500,
-    tol: float = 1e-9,
+    batched: bool = True,
+    **legacy,
 ) -> float:
     """Masking Sinkhorn divergence ``S_m(ν_x̄ || μ_x)`` (Definition 4), NumPy.
 
     ``mask`` applies to ``x``; ``mask_bar`` (defaults to ``mask``) applies to
     ``x_bar``.  Under Algorithm 1 both matrices share the dataset's mask.
+    The three OT problems are one stacked solve by default (``batched``).
     """
+    cfg = _coerce_config(config, legacy, "masking_sinkhorn_divergence")
     if mask_bar is None:
         mask_bar = mask
-    cross_cost = masked_cost_matrix(x_bar, mask_bar, x, mask)
-    self_bar_cost = masked_cost_matrix(x_bar, mask_bar, x_bar, mask_bar)
-    self_x_cost = masked_cost_matrix(x, mask, x, mask)
-    cross = sinkhorn(cross_cost, reg, max_iter=max_iter, tol=tol).value
-    self_bar = sinkhorn(self_bar_cost, reg, max_iter=max_iter, tol=tol).value
-    self_x = sinkhorn(self_x_cost, reg, max_iter=max_iter, tol=tol).value
-    return 2.0 * cross - self_bar - self_x
+    cross, self_bar, self_x = _solve_stack(
+        [
+            masked_cost_matrix(x_bar, mask_bar, x, mask),
+            masked_cost_matrix(x_bar, mask_bar, x_bar, mask_bar),
+            masked_cost_matrix(x, mask, x, mask),
+        ],
+        cfg,
+        batched,
+    )
+    return 2.0 * cross.value - self_bar.value - self_x.value
 
 
 def chunked_masking_sinkhorn_divergence(
     x_bar: np.ndarray,
     x: np.ndarray,
     mask: np.ndarray,
-    reg: float,
+    config: Optional[SinkhornConfig] = None,
+    *,
     chunk_size: int = 256,
     mask_bar: Optional[np.ndarray] = None,
-    max_iter: int = 500,
-    tol: float = 1e-9,
     context: Optional["ExecutionContext"] = None,
+    batched: bool = True,
+    plan: Optional["BatchPlan"] = None,
+    **legacy,
 ) -> float:
     """Evaluation-time masking Sinkhorn divergence over row partitions.
 
@@ -98,14 +154,20 @@ def chunked_masking_sinkhorn_divergence(
     ``S_m`` per chunk, and average with row-count weights.  Chunks are
     independent, so they fan out through ``context`` (serial by default);
     the fixed partition and fixed-order combination make the value
-    bit-identical across backends and worker counts.
+    bit-identical across backends and worker counts.  Within each chunk the
+    three OT problems are one stacked :func:`sinkhorn_batched` solve.
 
-    With ``chunk_size >= n`` this reduces exactly to
+    ``plan`` (a :class:`repro.data.BatchPlan`) overrides ``chunk_size`` with
+    an explicit partition policy; it must be sequential (unshuffled), since
+    the chunked value is defined over aligned row blocks.
+
+    With one chunk this reduces exactly to
     :func:`masking_sinkhorn_divergence`.  Note the chunked value is a
     minibatch *approximation* of the full divergence, not the same number.
     """
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    from ..data import BatchPlan  # local: repro.data imports repro.obs only
+
+    cfg = _coerce_config(config, legacy, "chunked_masking_sinkhorn_divergence")
     x_bar = np.asarray(x_bar, dtype=np.float64)
     x = np.asarray(x, dtype=np.float64)
     mask = np.asarray(mask, dtype=np.float64)
@@ -118,10 +180,17 @@ def chunked_masking_sinkhorn_divergence(
     n = x.shape[0]
     if n == 0:
         raise ValueError("cannot evaluate the divergence on an empty batch")
-    bounds = [(start, min(start + chunk_size, n)) for start in range(0, n, chunk_size)]
+    if plan is None:
+        plan = BatchPlan(batch_size=chunk_size)
+    if plan.order != "sequential":
+        raise ValueError(
+            f"chunked divergence needs a sequential BatchPlan, got order "
+            f"{plan.order!r}"
+        )
+    bounds = plan.bounds(n)
     if len(bounds) == 1:
         return masking_sinkhorn_divergence(
-            x_bar, x, mask, reg, mask_bar=mask_bar, max_iter=max_iter, tol=tol
+            x_bar, x, mask, cfg, mask_bar=mask_bar, batched=batched
         )
     context = context if context is not None else ExecutionContext.from_env()
 
@@ -130,10 +199,9 @@ def chunked_masking_sinkhorn_divergence(
             x_bar[start:stop],
             x[start:stop],
             mask[start:stop],
-            reg,
+            cfg,
             mask_bar=mask_bar[start:stop],
-            max_iter=max_iter,
-            tol=tol,
+            batched=batched,
         )
 
     values = context.run(
@@ -156,7 +224,8 @@ class MaskingSinkhornLoss:
         Entropic regulariser ``λ`` (paper default 130 on [0, 1]-normalised
         data scaled; see :class:`repro.core.ScisConfig`).
     max_iter, tol:
-        Sinkhorn solver controls.
+        Sinkhorn solver controls (assembled into a :class:`SinkhornConfig`
+        shared by the loop and batched paths).
     debias:
         Include the corrective self-terms (Definition 4).  Switching this off
         reproduces the "entropic only" ablation discussed in §IV.A.
@@ -172,6 +241,12 @@ class MaskingSinkhornLoss:
         epoch.  The cached scalar is exactly what a fresh cold solve would
         produce (the solve is deterministic), so cached and uncached runs
         agree to the bit on this term.
+    batched:
+        Stack the step's cross/self-term problems (all ``(n, n)``) into one
+        :func:`sinkhorn_batched` solve per training step instead of two or
+        three loop solves.  Warm-start rows for slots without stored duals
+        are zeros — exactly a cold start — so batched and loop paths agree
+        to solver parity.
 
     Both stores are keyed by the caller-supplied ``batch_key``; callers
     **must** guarantee that a key maps to a fixed ``(x, mask)`` pair for the
@@ -185,12 +260,18 @@ class MaskingSinkhornLoss:
     debias: bool = True
     warm_start: bool = True
     cache_self_terms: bool = True
+    batched: bool = True
     _duals: Dict[Hashable, Dict[str, Tuple[np.ndarray, np.ndarray]]] = field(
         default_factory=dict, repr=False, compare=False
     )
     _self_terms: Dict[Hashable, float] = field(
         default_factory=dict, repr=False, compare=False
     )
+
+    @property
+    def config(self) -> SinkhornConfig:
+        """The solver configuration both Sinkhorn paths receive."""
+        return SinkhornConfig(reg=self.reg, max_iter=self.max_iter, tol=self.tol)
 
     def reset_caches(self) -> None:
         """Invalidate the warm-start store and the self-term cache.
@@ -202,19 +283,54 @@ class MaskingSinkhornLoss:
         self._duals.clear()
         self._self_terms.clear()
 
-    def _solve(
-        self, cost: np.ndarray, batch_key: Optional[Hashable], slot: str
-    ) -> SinkhornResult:
-        """One Sinkhorn solve, warm-started from the key's stored duals."""
-        init = None
-        if self.warm_start and batch_key is not None:
-            init = self._duals.get(batch_key, {}).get(slot)
-        result = sinkhorn(
-            cost, self.reg, max_iter=self.max_iter, tol=self.tol, init=init
-        )
-        if self.warm_start and batch_key is not None:
+    def _stored_duals(
+        self, batch_key: Optional[Hashable], slot: Optional[str]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if not self.warm_start or batch_key is None or slot is None:
+            return None
+        return self._duals.get(batch_key, {}).get(slot)
+
+    def _store_duals(
+        self, batch_key: Optional[Hashable], slot: Optional[str], result: SinkhornResult
+    ) -> None:
+        if self.warm_start and batch_key is not None and slot is not None:
             self._duals.setdefault(batch_key, {})[slot] = (result.f, result.g)
-        return result
+
+    def _solve_step(
+        self,
+        costs: Sequence[np.ndarray],
+        slots: Sequence[Optional[str]],
+        batch_key: Optional[Hashable],
+    ) -> List[SinkhornResult]:
+        """Solve the step's same-shape problems, warm-starting per slot.
+
+        ``slots`` names the warm-start store entry per problem (``None`` for
+        the deliberately cold data self-term).  With ``batched`` all
+        problems go through one stacked solve; otherwise each is a loop
+        solve — duals stored per slot either way.
+        """
+        stored = [self._stored_duals(batch_key, slot) for slot in slots]
+        if not self.batched:
+            results = [
+                sinkhorn(cost, self.config, init=duals)
+                for cost, duals in zip(costs, stored)
+            ]
+            for slot, result in zip(slots, results):
+                self._store_duals(batch_key, slot, result)
+            return results
+        init = None
+        if any(s is not None for s in stored):
+            n, m = costs[0].shape
+            f0 = np.zeros((len(costs), n))
+            g0 = np.zeros((len(costs), m))
+            for k, s in enumerate(stored):
+                if s is not None:
+                    f0[k], g0[k] = s
+            init = (f0, g0)
+        results = _solve_stack(list(costs), self.config, self.batched, init=init)
+        for slot, result in zip(slots, results):
+            self._store_duals(batch_key, slot, result)
+        return results
 
     def __call__(
         self,
@@ -241,27 +357,31 @@ class MaskingSinkhornLoss:
             )
 
         with no_grad():
-            cross_cost = masked_cost_matrix(x_bar.data, mask, x, mask)
-            plan_cross = self._solve(cross_cost, batch_key, "cross")
+            costs = [masked_cost_matrix(x_bar.data, mask, x, mask)]
+            slots: List[Optional[str]] = ["cross"]
+            data_value: Optional[float] = None
             if self.debias:
-                self_cost = masked_cost_matrix(x_bar.data, mask, x_bar.data, mask)
-                plan_self = self._solve(self_cost, batch_key, "self_bar")
-                data_value: Optional[float] = None
+                costs.append(masked_cost_matrix(x_bar.data, mask, x_bar.data, mask))
+                slots.append("self_bar")
                 if self.cache_self_terms and batch_key is not None:
                     data_value = self._self_terms.get(batch_key)
                 if data_value is None:
-                    data_cost = masked_cost_matrix(x, mask, x, mask)
-                    # Deliberately cold: the cached value must equal what an
-                    # uncached run recomputes every step.
-                    data_value = sinkhorn(
-                        data_cost, self.reg, max_iter=self.max_iter, tol=self.tol
-                    ).value
-                    if self.cache_self_terms and batch_key is not None:
-                        self._self_terms[batch_key] = data_value
+                    # Deliberately cold (slot None): the cached value must
+                    # equal what an uncached run recomputes every step.
+                    costs.append(masked_cost_matrix(x, mask, x, mask))
+                    slots.append(None)
                 else:
                     recorder = get_recorder()
                     if recorder.enabled:
                         recorder.inc("sinkhorn.selfterm_cache_hits")
+            results = self._solve_step(costs, slots, batch_key)
+            plan_cross = results[0]
+            if self.debias:
+                plan_self = results[1]
+                if data_value is None:
+                    data_value = results[2].value
+                    if self.cache_self_terms and batch_key is not None:
+                        self._self_terms[batch_key] = data_value
 
         x_const = Tensor(x)
         cross = masked_cost_matrix_tensor(x_bar, mask, x_const, mask)

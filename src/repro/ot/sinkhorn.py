@@ -10,6 +10,16 @@ is numerically stable for the small regularisation weights probed by the
 ablation benches, and the returned plan is exact to ``tol`` in marginal
 violation.
 
+Solver knobs live in :class:`SinkhornConfig`, shared verbatim by the
+batched solver (:func:`repro.ot.sinkhorn_batched`) so the loop and stacked
+paths cannot drift apart in configuration.  The old positional
+``sinkhorn(cost, reg, ...)`` form still works for one release behind a
+``DeprecationWarning``.
+
+Every dual sweep runs through :func:`repro.tensor.ops.logsumexp`, so the
+op profiler times the solver's inner kernel and the active tensor backend
+(:mod:`repro.tensor.backend`) dispatches it.
+
 The solver exposes its dual potentials so callers can warm-start: a DIM
 training loop solves a near-identical problem for the same batch every
 epoch, and reusing the previous epoch's ``(f, g)`` as the initial point
@@ -21,15 +31,97 @@ is still converged to ``tol``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
-from scipy.special import logsumexp
 
 from ..obs import get_recorder
+from ..tensor import ops
 
-__all__ = ["SinkhornResult", "sinkhorn", "regularized_ot_value", "entropy"]
+__all__ = [
+    "SinkhornConfig",
+    "SinkhornResult",
+    "sinkhorn",
+    "regularized_ot_value",
+    "entropy",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class SinkhornConfig:
+    """Solver configuration shared by ``sinkhorn`` and ``sinkhorn_batched``.
+
+    Keyword-only by design: the old grown positional knob list is exactly
+    what this dataclass replaces.
+
+    Attributes
+    ----------
+    reg:
+        Entropic regularisation weight ``λ > 0``.
+    max_iter:
+        Maximum number of dual sweeps.
+    tol:
+        L1 marginal-violation tolerance for convergence.
+    """
+
+    reg: float
+    max_iter: int = 500
+    tol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.reg) and self.reg > 0.0):
+            raise ValueError(
+                f"entropic regulariser must be positive, got {self.reg}"
+            )
+        if self.max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
+        if not (np.isfinite(self.tol) and self.tol > 0.0):
+            raise ValueError(f"tol must be positive, got {self.tol}")
+
+
+_LEGACY_KNOBS = ("reg", "max_iter", "tol")
+
+
+def _coerce_config(config, legacy: dict, caller: str) -> SinkhornConfig:
+    """Resolve the ``config`` argument plus any legacy knob kwargs.
+
+    New form: ``caller(..., config=SinkhornConfig(reg=...))``.
+    Old form: ``caller(..., reg, max_iter=..., tol=...)`` — accepted for one
+    release with a :class:`DeprecationWarning` (``config`` receives the old
+    positional ``reg`` when callers passed it positionally).
+    """
+    if isinstance(config, SinkhornConfig):
+        if legacy:
+            raise TypeError(
+                f"{caller}() got both a SinkhornConfig and legacy solver "
+                f"kwargs {sorted(legacy)}; move them into the config"
+            )
+        return config
+    knobs = dict(legacy)
+    if config is not None:
+        if "reg" in knobs:
+            raise TypeError(f"{caller}() got multiple values for 'reg'")
+        knobs["reg"] = config
+    unknown = set(knobs) - set(_LEGACY_KNOBS)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if "reg" not in knobs:
+        raise TypeError(
+            f"{caller}() needs a SinkhornConfig, e.g. "
+            f"{caller}(..., config=SinkhornConfig(reg=0.1))"
+        )
+    warnings.warn(
+        f"passing reg/max_iter/tol to {caller}() directly is deprecated and "
+        f"will be removed in the next release; pass "
+        f"config=SinkhornConfig(reg=..., max_iter=..., tol=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SinkhornConfig(**knobs)
 
 
 @dataclass(frozen=True)
@@ -108,14 +200,19 @@ def _validate_marginal(name: str, weights: np.ndarray, expected: int) -> np.ndar
     return weights
 
 
+def _logsumexp(matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Backend-dispatched, profiler-visible logsumexp (the solver kernel)."""
+    return ops.logsumexp(matrix, axis=axis).data
+
+
 def sinkhorn(
     cost: np.ndarray,
-    reg: float,
+    config: Optional[SinkhornConfig] = None,
+    *,
     a: Optional[np.ndarray] = None,
     b: Optional[np.ndarray] = None,
-    max_iter: int = 500,
-    tol: float = 1e-9,
     init: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    **legacy,
 ) -> SinkhornResult:
     """Solve entropic OT in the log domain.
 
@@ -123,23 +220,22 @@ def sinkhorn(
     ----------
     cost:
         ``(n, m)`` cost matrix.
-    reg:
-        Entropic regularisation weight ``λ > 0``.
+    config:
+        :class:`SinkhornConfig` with the solver knobs (``reg``,
+        ``max_iter``, ``tol``).  The pre-redesign form —
+        ``sinkhorn(cost, reg, max_iter=..., tol=...)`` — is still accepted
+        for one release and warns ``DeprecationWarning``.
     a, b:
         Marginals (default uniform).  Must be strictly positive and match
         the cost matrix's shape; degenerate marginals raise ``ValueError``.
-    max_iter:
-        Maximum number of dual sweeps.
-    tol:
-        L1 marginal-violation tolerance for convergence.
     init:
         Optional ``(f, g)`` dual potentials (e.g. from a previous
         :class:`SinkhornResult` on a nearby problem) used as the starting
         point instead of zeros.  The solver still iterates to ``tol``, so
         a warm start changes the iteration count, not the answer.
     """
-    if reg <= 0.0:
-        raise ValueError(f"entropic regulariser must be positive, got {reg}")
+    cfg = _coerce_config(config, legacy, "sinkhorn")
+    reg, max_iter, tol = cfg.reg, cfg.max_iter, cfg.tol
     cost = np.asarray(cost, dtype=np.float64)
     if cost.ndim != 2:
         raise ValueError(f"cost must be a 2-D matrix, got shape {cost.shape}")
@@ -171,8 +267,8 @@ def sinkhorn(
     converged = False
     iteration = 0
     for iteration in range(1, max_iter + 1):
-        f = log_a - logsumexp(neg_cost + g[None, :], axis=1)
-        g = log_b - logsumexp(neg_cost + f[:, None], axis=0)
+        f = log_a - _logsumexp(neg_cost + g[None, :], axis=1)
+        g = log_b - _logsumexp(neg_cost + f[:, None], axis=0)
         plan = np.exp(neg_cost + f[:, None] + g[None, :])
         violation = np.abs(plan.sum(axis=1) - a).sum() + np.abs(plan.sum(axis=0) - b).sum()
         if violation < tol:
@@ -186,6 +282,7 @@ def sinkhorn(
     recorder = get_recorder()
     if recorder.enabled:
         recorder.inc("sinkhorn.solves")
+        recorder.inc("sinkhorn.loop_solves")
         if not converged:
             recorder.inc("sinkhorn.nonconverged")
         if not (np.isfinite(value) and np.isfinite(violation)):

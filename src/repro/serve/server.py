@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, TextIO, Union
 
 import numpy as np
 
+from ..data.batches import BatchPlan
 from ..data.dataset import IncompleteDataset
 from ..data.io import read_csv, write_csv
 from ..obs import get_recorder
@@ -371,11 +372,12 @@ class ImputationServer:
                     seconds=seconds,
                     queue_depth=self._queue.qsize(),
                 )
-            offset = 0
-            for pending in group:
-                n = pending.values.shape[0]
-                rows = output[offset : offset + n]
-                offset += n
+            split = BatchPlan.of_sizes(
+                [p.values.shape[0] for p in group]
+            ).bounds(output.shape[0])
+            for pending, (start, stop) in zip(group, split):
+                n = stop - start
+                rows = output[start:stop]
                 response = ImputeResponse(
                     id=pending.id,
                     key=key,

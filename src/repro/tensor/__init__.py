@@ -6,9 +6,20 @@ Public surface:
 * :mod:`repro.tensor.ops` — functional ops (also exposed as Tensor methods).
 * :func:`no_grad` — disable tape recording (used around the Sinkhorn solver).
 * :func:`check_gradients` — finite-difference verification helper.
+* :mod:`repro.tensor.backend` — pluggable array backend (NumPy default;
+  any array-API namespace via :func:`set_backend` / ``REPRO_BACKEND``).
 """
 
 from . import ops
+from .backend import (
+    ArrayApiBackend,
+    NumpyBackend,
+    TensorBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+    validate_backend,
+)
 from .grad_mode import is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import check_gradients, numerical_gradient
 from .tensor import Tensor, as_tensor
@@ -22,4 +33,11 @@ __all__ = [
     "set_grad_enabled",
     "check_gradients",
     "numerical_gradient",
+    "TensorBackend",
+    "NumpyBackend",
+    "ArrayApiBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "validate_backend",
 ]

@@ -1,9 +1,17 @@
 """Differentiable elementary operations for :class:`repro.tensor.Tensor`.
 
 Every function takes tensors (or array-likes, which are coerced), computes the
-forward value with NumPy, and registers a backward closure that maps the
-output gradient to a tuple of parent gradients (``None`` for parents that do
-not require grad, though returning a gradient anyway is harmless).
+forward value through the active :mod:`tensor backend <repro.tensor.backend>`,
+and registers a backward closure that maps the output gradient to a tuple of
+parent gradients (``None`` for parents that do not require grad, though
+returning a gradient anyway is harmless).
+
+Backend contract (``docs/backends.md``): forward kernels dispatch through
+:func:`repro.tensor.backend.get_backend` and convert back to NumPy, so the
+tape — ``Tensor.data``/``Tensor.grad`` — stays host-side ndarray regardless
+of backend.  Operator arithmetic (``+``, ``*``, ``@`` operands) and backward
+closures run on those NumPy buffers directly; fancy-index scatter
+(``getitem``'s backward) and dropout RNG are NumPy-only by design.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs.profiler import get_op_profiler
+from .backend import get_backend
 from .tensor import ArrayLike, Tensor, _unbroadcast, as_tensor
 
 __all__ = [
@@ -37,6 +46,7 @@ __all__ = [
     "softplus",
     "softmax",
     "log_softmax",
+    "logsumexp",
     "clip",
     "sum",
     "mean",
@@ -50,6 +60,11 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+
+def _np(value) -> np.ndarray:
+    """Bring a backend-native result back onto the NumPy tape."""
+    return get_backend().to_numpy(value)
 
 
 # ----------------------------------------------------------------------
@@ -130,7 +145,8 @@ def pow(a: ArrayLike, exponent: float) -> Tensor:
 def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Matrix / vector product with the full ``@`` shape semantics."""
     a, b = as_tensor(a), as_tensor(b)
-    out_data = a.data @ b.data
+    bk = get_backend()
+    out_data = _np(bk.matmul(a.data, b.data))
 
     def backward(grad: np.ndarray):
         if a.ndim == 1 and b.ndim == 1:  # inner product -> scalar
@@ -150,7 +166,7 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
 def exp(a: ArrayLike) -> Tensor:
     """Elementwise exponential."""
     a = as_tensor(a)
-    out_data = np.exp(a.data)
+    out_data = _np(get_backend().exp(a.data))
 
     def backward(grad: np.ndarray):
         return (grad * out_data,)
@@ -161,7 +177,8 @@ def exp(a: ArrayLike) -> Tensor:
 def log(a: ArrayLike) -> Tensor:
     """Elementwise natural log (inputs clamped away from zero)."""
     a = as_tensor(a)
-    out_data = np.log(np.maximum(a.data, _EPS))
+    bk = get_backend()
+    out_data = _np(bk.log(bk.maximum(a.data, _EPS)))
 
     def backward(grad: np.ndarray):
         return (grad / np.maximum(a.data, _EPS),)
@@ -172,7 +189,8 @@ def log(a: ArrayLike) -> Tensor:
 def sqrt(a: ArrayLike) -> Tensor:
     """Elementwise square root (negative inputs clamp to zero)."""
     a = as_tensor(a)
-    out_data = np.sqrt(np.maximum(a.data, 0.0))
+    bk = get_backend()
+    out_data = _np(bk.sqrt(bk.maximum(a.data, 0.0)))
 
     def backward(grad: np.ndarray):
         return (grad * 0.5 / np.maximum(out_data, _EPS),)
@@ -183,7 +201,7 @@ def sqrt(a: ArrayLike) -> Tensor:
 def abs(a: ArrayLike) -> Tensor:
     """Elementwise absolute value (subgradient 0 at the kink)."""
     a = as_tensor(a)
-    out_data = np.abs(a.data)
+    out_data = _np(get_backend().abs(a.data))
 
     def backward(grad: np.ndarray):
         return (grad * np.sign(a.data),)
@@ -194,7 +212,7 @@ def abs(a: ArrayLike) -> Tensor:
 def tanh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic tangent."""
     a = as_tensor(a)
-    out_data = np.tanh(a.data)
+    out_data = _np(get_backend().tanh(a.data))
 
     def backward(grad: np.ndarray):
         return (grad * (1.0 - out_data**2),)
@@ -205,7 +223,8 @@ def tanh(a: ArrayLike) -> Tensor:
 def sigmoid(a: ArrayLike) -> Tensor:
     """Elementwise logistic sigmoid."""
     a = as_tensor(a)
-    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    bk = get_backend()
+    out_data = 1.0 / (1.0 + _np(bk.exp(-a.data)))
 
     def backward(grad: np.ndarray):
         return (grad * out_data * (1.0 - out_data),)
@@ -216,7 +235,7 @@ def sigmoid(a: ArrayLike) -> Tensor:
 def relu(a: ArrayLike) -> Tensor:
     """Elementwise rectifier ``max(a, 0)``."""
     a = as_tensor(a)
-    out_data = np.maximum(a.data, 0.0)
+    out_data = _np(get_backend().maximum(a.data, 0.0))
 
     def backward(grad: np.ndarray):
         return (grad * (a.data > 0.0),)
@@ -227,7 +246,8 @@ def relu(a: ArrayLike) -> Tensor:
 def leaky_relu(a: ArrayLike, slope: float = 0.01) -> Tensor:
     """Rectifier with a small negative-side slope."""
     a = as_tensor(a)
-    out_data = np.where(a.data > 0.0, a.data, slope * a.data)
+    bk = get_backend()
+    out_data = _np(bk.where(a.data > 0.0, a.data, slope * a.data))
 
     def backward(grad: np.ndarray):
         return (grad * np.where(a.data > 0.0, 1.0, slope),)
@@ -238,8 +258,9 @@ def leaky_relu(a: ArrayLike, slope: float = 0.01) -> Tensor:
 def softplus(a: ArrayLike) -> Tensor:
     """Smooth rectifier ``log(1 + e^a)``."""
     a = as_tensor(a)
+    bk = get_backend()
     # Numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
-    out_data = np.maximum(a.data, 0.0) + np.log1p(np.exp(-np.fabs(a.data)))
+    out_data = _np(bk.maximum(a.data, 0.0)) + _np(bk.log1p(bk.exp(-np.fabs(a.data))))
 
     def backward(grad: np.ndarray):
         return (grad / (1.0 + np.exp(-a.data)),)
@@ -250,8 +271,9 @@ def softplus(a: ArrayLike) -> Tensor:
 def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
     """Shift-stabilised softmax along ``axis``."""
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
+    bk = get_backend()
+    shifted = a.data - _np(bk.max(a.data, axis=axis, keepdims=True))
+    exps = _np(bk.exp(shifted))
     out_data = exps / exps.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray):
@@ -264,9 +286,8 @@ def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
 def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
     """Numerically stable ``log(softmax(a))``."""
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - logsumexp
+    bk = get_backend()
+    out_data = a.data - _np(bk.logsumexp(a.data, axis=axis, keepdims=True))
     soft = np.exp(out_data)
 
     def backward(grad: np.ndarray):
@@ -275,10 +296,33 @@ def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
     return a._make_child(out_data, (a,), backward)
 
 
+def logsumexp(a: ArrayLike, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    """Shift-stabilised ``log Σ exp`` reduction along ``axis``.
+
+    This is the Sinkhorn solvers' inner kernel: each dual sweep in
+    ``repro.ot`` is one call, so routing it through here gives the op
+    profiler and the tensor backend full visibility of the OT hot path.
+    The gradient is the softmax of the inputs.
+    """
+    a = as_tensor(a)
+    bk = get_backend()
+    out_data = _np(bk.logsumexp(a.data, axis=axis, keepdims=keepdims))
+
+    def backward(grad: np.ndarray):
+        lse = out_data
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            lse = np.expand_dims(lse, axis=axis)
+            g = np.expand_dims(g, axis=axis)
+        return (g * np.exp(a.data - lse),)
+
+    return a._make_child(out_data, (a,), backward)
+
+
 def clip(a: ArrayLike, low: float, high: float) -> Tensor:
     """Clamp values; gradient flows only through the un-clipped region."""
     a = as_tensor(a)
-    out_data = np.clip(a.data, low, high)
+    out_data = _np(get_backend().clip(a.data, low, high))
 
     def backward(grad: np.ndarray):
         mask = (a.data >= low) & (a.data <= high)
@@ -293,7 +337,7 @@ def clip(a: ArrayLike, low: float, high: float) -> Tensor:
 def sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     """Sum reduction over ``axis`` (all elements when ``None``)."""
     a = as_tensor(a)
-    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    out_data = _np(get_backend().sum(a.data, axis=axis, keepdims=keepdims))
 
     def backward(grad: np.ndarray):
         g = np.asarray(grad)
@@ -308,7 +352,7 @@ def sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
 def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     """Mean reduction over ``axis``."""
     a = as_tensor(a)
-    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    out_data = _np(get_backend().mean(a.data, axis=axis, keepdims=keepdims))
     if axis is None:
         count = a.size
     else:
@@ -328,7 +372,7 @@ def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
 def max(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     """Max reduction; ties split gradient evenly among argmax entries."""
     a = as_tensor(a)
-    out_data = a.data.max(axis=axis, keepdims=keepdims)
+    out_data = _np(get_backend().max(a.data, axis=axis, keepdims=keepdims))
 
     def backward(grad: np.ndarray):
         expanded = a.data.max(axis=axis, keepdims=True)
@@ -349,7 +393,7 @@ def max(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
 def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     """View with a new shape (same number of elements)."""
     a = as_tensor(a)
-    out_data = a.data.reshape(shape)
+    out_data = _np(get_backend().reshape(a.data, shape))
 
     def backward(grad: np.ndarray):
         return (grad.reshape(a.shape),)
@@ -360,7 +404,7 @@ def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
 def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
     """Axis permutation (full reversal when ``axes`` is ``None``)."""
     a = as_tensor(a)
-    out_data = a.data.transpose(axes)
+    out_data = _np(get_backend().transpose(a.data, axes))
 
     def backward(grad: np.ndarray):
         if axes is None:
@@ -374,7 +418,7 @@ def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
 def concat(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis``; gradients split back per input."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    out_data = _np(get_backend().concat([t.data for t in tensors], axis=axis))
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -390,7 +434,11 @@ def concat(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
 
 
 def getitem(a: ArrayLike, index) -> Tensor:
-    """Indexing/slicing; repeated fancy indices accumulate gradients."""
+    """Indexing/slicing; repeated fancy indices accumulate gradients.
+
+    NumPy-only (not backend-dispatched): the backward pass is a fancy-index
+    scatter (``np.add.at``) with no array-API equivalent.
+    """
     a = as_tensor(a)
     out_data = a.data[index]
 
@@ -409,7 +457,7 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """
     a, b = as_tensor(a), as_tensor(b)
     cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    out_data = _np(get_backend().where(cond, a.data, b.data))
 
     def backward(grad: np.ndarray):
         return (
@@ -423,8 +471,8 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
 def dropout_mask(shape: Tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
     """Sample an inverted-dropout mask: zeros with probability ``rate``.
 
-    Kept separate from the tape; multiply a tensor by the returned constant
-    array to apply dropout.
+    Kept separate from the tape (and from the backend — RNG is host-side);
+    multiply a tensor by the returned constant array to apply dropout.
     """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")

@@ -305,6 +305,117 @@ class TestBatches:
             list(iterate_batches(small_incomplete, 0))
 
 
+class TestBatchPlan:
+    def test_uniform_bounds(self):
+        from repro.data import BatchPlan
+
+        assert BatchPlan(batch_size=4).bounds(10) == [(0, 4), (4, 8), (8, 10)]
+        assert BatchPlan(batch_size=4, drop_last=True).bounds(10) == [
+            (0, 4),
+            (4, 8),
+        ]
+
+    def test_of_sizes_bounds(self):
+        from repro.data import BatchPlan
+
+        plan = BatchPlan.of_sizes([3, 1, 6])
+        assert plan.bounds(10) == [(0, 3), (3, 4), (4, 10)]
+        with pytest.raises(ValueError):
+            plan.bounds(9)
+
+    def test_row_order(self, rng):
+        from repro.data import BatchPlan
+
+        n = 12
+        assert np.array_equal(BatchPlan(batch_size=4).bounds(0), [])
+        assert np.array_equal(
+            BatchPlan(batch_size=4).row_order(n), np.arange(n)
+        )
+        perm = rng.permutation(n)
+        fixed = BatchPlan(batch_size=4, order="fixed", permutation=perm)
+        assert np.array_equal(fixed.row_order(n), perm)
+        shuffled = BatchPlan(batch_size=4, order="shuffled")
+        assert sorted(shuffled.row_order(n, np.random.default_rng(0))) == list(
+            range(n)
+        )
+
+    def test_validation_errors(self, rng):
+        from repro.data import BatchPlan
+
+        with pytest.raises(ValueError):
+            BatchPlan()  # neither batch_size nor sizes
+        with pytest.raises(ValueError):
+            BatchPlan(batch_size=4, sizes=(4,))  # both
+        with pytest.raises(ValueError):
+            BatchPlan(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPlan(sizes=(4, 0))
+        with pytest.raises(ValueError):
+            BatchPlan(sizes=(4, 4), drop_last=True)
+        with pytest.raises(ValueError):
+            BatchPlan(sizes=(4, 4), order="shuffled")
+        with pytest.raises(ValueError):
+            BatchPlan(batch_size=4, order="random")
+        with pytest.raises(ValueError):
+            BatchPlan(batch_size=4, order="fixed")  # missing permutation
+        with pytest.raises(ValueError):
+            BatchPlan(batch_size=4, permutation=rng.permutation(8))
+        with pytest.raises(ValueError):
+            BatchPlan(
+                batch_size=4, order="fixed", permutation=np.arange(8).reshape(2, 4)
+            )
+
+    def test_plan_matches_legacy_flags(self, small_incomplete):
+        from repro.data import BatchPlan
+
+        n = small_incomplete.n_samples
+        perm = np.random.default_rng(3).permutation(n)
+        legacy = list(
+            iterate_batches(small_incomplete, 32, order=perm, yield_indices=True)
+        )
+        plan = BatchPlan(
+            batch_size=32, order="fixed", permutation=perm, yield_indices=True
+        )
+        planned = list(iterate_batches(small_incomplete, plan=plan))
+        assert len(legacy) == len(planned)
+        for (lv, lm, li), (pv, pm, pi) in zip(legacy, planned):
+            assert np.array_equal(li, pi)
+            assert np.array_equal(np.nan_to_num(lv), np.nan_to_num(pv))
+            assert np.array_equal(lm, pm)
+
+    def test_shuffled_plan_matches_legacy_shuffle(self, small_incomplete):
+        from repro.data import BatchPlan
+
+        legacy = list(
+            iterate_batches(small_incomplete, 32, np.random.default_rng(5))
+        )
+        planned = list(
+            iterate_batches(
+                small_incomplete,
+                rng=np.random.default_rng(5),
+                plan=BatchPlan(batch_size=32, order="shuffled"),
+            )
+        )
+        for (lv, _), (pv, _) in zip(legacy, planned):
+            assert np.array_equal(np.nan_to_num(lv), np.nan_to_num(pv))
+
+    def test_plan_plus_legacy_flags_raise(self, small_incomplete):
+        from repro.data import BatchPlan
+
+        plan = BatchPlan(batch_size=8)
+        with pytest.raises(TypeError):
+            list(iterate_batches(small_incomplete, 8, plan=plan))
+        with pytest.raises(ValueError):
+            list(iterate_batches(small_incomplete))
+
+    def test_fixed_permutation_must_cover_all_rows(self, small_incomplete):
+        from repro.data import BatchPlan
+
+        plan = BatchPlan(batch_size=8, order="fixed", permutation=np.arange(3))
+        with pytest.raises(ValueError):
+            list(iterate_batches(small_incomplete, plan=plan))
+
+
 class TestCsvIO:
     def test_roundtrip(self, toy, tmp_path):
         path = tmp_path / "toy.csv"

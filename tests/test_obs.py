@@ -32,7 +32,7 @@ from repro.obs import (
     write_json_trace,
 )
 from repro.optim import Adam
-from repro.ot import sinkhorn
+from repro.ot import SinkhornConfig, sinkhorn
 
 
 class TestRegistry:
@@ -179,7 +179,7 @@ class TestRecorderLifecycle:
 
     def test_instrumented_code_emits_nothing_when_disabled(self):
         cost = np.random.default_rng(0).random((6, 6))
-        result = sinkhorn(cost, reg=1.0)
+        result = sinkhorn(cost, SinkhornConfig(reg=1.0))
         # a fresh recorder attached *after* the call saw none of it
         with recording() as rec:
             pass
@@ -335,11 +335,15 @@ class TestDimIntegration:
 
     def test_sinkhorn_events_present_with_violation(self, dim_trace):
         rec, _ = dim_trace
-        solves = [e for e in rec.events if e.name == "sinkhorn.solve"]
-        assert solves, "DIM training must emit sinkhorn.solve events"
+        # DIM defaults to the stacked solver, so the training trace carries
+        # sinkhorn.batched_solve events instead of per-problem solves.
+        solves = [e for e in rec.events if e.name == "sinkhorn.batched_solve"]
+        assert solves, "DIM training must emit sinkhorn.batched_solve events"
         for event in solves:
-            assert event.fields["iterations"] >= 1
-            assert event.fields["marginal_violation"] >= 0.0
+            assert event.fields["stack"] >= 2
+            assert event.fields["sweeps"] >= 1
+            assert event.fields["iterations"] >= event.fields["sweeps"]
+            assert event.fields["max_marginal_violation"] >= 0.0
 
     def test_counters_and_timings(self, dim_trace):
         rec, report = dim_trace
@@ -347,21 +351,28 @@ class TestDimIntegration:
         assert snap["counters"]["dim.epochs"] == report.epochs
         assert snap["counters"]["optim.adam.steps"] >= report.steps
         assert snap["histograms"]["optim.adam.step_seconds"]["count"] >= report.steps
-        assert snap["counters"]["sinkhorn.solves"] == len(
-            [e for e in rec.events if e.name == "sinkhorn.solve"]
+        batched = [e for e in rec.events if e.name == "sinkhorn.batched_solve"]
+        assert snap["counters"]["sinkhorn.batched_solves"] == len(batched)
+        # Every stacked problem still counts as a solve.
+        assert snap["counters"]["sinkhorn.solves"] == sum(
+            e.fields["stack"] for e in batched
+        )
+        assert snap["counters"].get("sinkhorn.loop_solves", 0) == 0
+        assert snap["histograms"]["sinkhorn.batched_iterations"]["count"] == sum(
+            e.fields["stack"] for e in batched
         )
 
     def test_trace_exports_cleanly(self, dim_trace, tmp_path):
         rec, _ = dim_trace
         loaded = load_trace(write_json_trace(rec, tmp_path / "dim.json"))
         names = {e["name"] for e in loaded["events"]}
-        assert {"dim.epoch", "dim.train", "sinkhorn.solve", "span"} <= names
+        assert {"dim.epoch", "dim.train", "sinkhorn.batched_solve", "span"} <= names
 
 
 class TestSinkhornResultViolation:
     def test_converged_run_reports_violation_below_tol(self):
         cost = np.random.default_rng(0).random((8, 8))
-        result = sinkhorn(cost, reg=1.0, tol=1e-9)
+        result = sinkhorn(cost, SinkhornConfig(reg=1.0, tol=1e-9))
         assert result.converged
         assert 0.0 <= result.marginal_violation < 1e-9
 
@@ -369,11 +380,11 @@ class TestSinkhornResultViolation:
         cost = np.random.default_rng(1).random((8, 8))
         # One sweep at small reg: not converged, but the violation is finite
         # and tells how far off the marginals still are.
-        result = sinkhorn(cost, reg=0.05, max_iter=1, tol=1e-12)
+        result = sinkhorn(cost, SinkhornConfig(reg=0.05, max_iter=1, tol=1e-12))
         assert not result.converged
         assert np.isfinite(result.marginal_violation)
         assert result.marginal_violation > 0.0
-        more = sinkhorn(cost, reg=0.05, max_iter=200, tol=1e-12)
+        more = sinkhorn(cost, SinkhornConfig(reg=0.05, max_iter=200, tol=1e-12))
         assert more.marginal_violation < result.marginal_violation
 
 
@@ -381,8 +392,8 @@ class TestSinkhornCacheObservability:
     def test_warm_start_counters_surface_in_summary(self):
         cost = np.random.default_rng(3).random((8, 8))
         with recording() as rec:
-            cold = sinkhorn(cost, reg=1.0)
-            sinkhorn(cost, reg=1.0, init=(cold.f, cold.g))
+            cold = sinkhorn(cost, SinkhornConfig(reg=1.0))
+            sinkhorn(cost, SinkhornConfig(reg=1.0), init=(cold.f, cold.g))
         snap = rec.metrics.snapshot()
         assert snap["counters"]["sinkhorn.warm_starts"] == 1
         assert snap["histograms"]["sinkhorn.warm_iterations"]["count"] == 1

@@ -5,6 +5,7 @@ import pytest
 
 from repro.ot import (
     MaskingSinkhornLoss,
+    SinkhornConfig,
     entropy,
     exact_ot,
     masked_cost_matrix,
@@ -102,7 +103,7 @@ class TestExactOT:
 class TestSinkhorn:
     def test_plan_marginals(self, clouds):
         x, y = clouds
-        result = sinkhorn(squared_euclidean_cost(x, y), reg=0.5)
+        result = sinkhorn(squared_euclidean_cost(x, y), SinkhornConfig(reg=0.5))
         n = x.shape[0]
         assert result.converged
         assert np.allclose(result.plan.sum(axis=1), 1.0 / n, atol=1e-7)
@@ -112,29 +113,29 @@ class TestSinkhorn:
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
         exact_value, _ = exact_ot(cost)
-        approx = sinkhorn(cost, reg=0.005, max_iter=20000, tol=1e-10)
+        approx = sinkhorn(cost, SinkhornConfig(reg=0.005, max_iter=20000, tol=1e-10))
         assert approx.transport_cost == pytest.approx(exact_value, abs=0.02)
 
     def test_transport_cost_increases_with_reg(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
-        low = sinkhorn(cost, reg=0.05, max_iter=5000).transport_cost
-        high = sinkhorn(cost, reg=5.0, max_iter=5000).transport_cost
+        low = sinkhorn(cost, SinkhornConfig(reg=0.05, max_iter=5000)).transport_cost
+        high = sinkhorn(cost, SinkhornConfig(reg=5.0, max_iter=5000)).transport_cost
         assert high >= low - 1e-9
 
     def test_plan_positive(self, clouds):
         x, y = clouds
-        result = sinkhorn(squared_euclidean_cost(x, y), reg=1.0)
+        result = sinkhorn(squared_euclidean_cost(x, y), SinkhornConfig(reg=1.0))
         assert (result.plan > 0).all()
 
     def test_invalid_reg_raises(self):
         with pytest.raises(ValueError):
-            sinkhorn(np.ones((2, 2)), reg=0.0)
+            sinkhorn(np.ones((2, 2)), SinkhornConfig(reg=0.0))
 
     def test_value_consistent_with_helper(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
-        result = sinkhorn(cost, reg=0.7)
+        result = sinkhorn(cost, SinkhornConfig(reg=0.7))
         assert result.value == pytest.approx(
             regularized_ot_value(result.plan, cost, 0.7)
         )
@@ -153,7 +154,7 @@ class TestMarginalValidation:
         a = np.full(x.shape[0], 1.0 / x.shape[0])
         a[2] = 0.0
         with pytest.raises(ValueError, match=r"a\[2\]"):
-            sinkhorn(cost, reg=0.5, a=a)
+            sinkhorn(cost, SinkhornConfig(reg=0.5), a=a)
 
     def test_negative_entry_raises_with_index(self, clouds):
         x, y = clouds
@@ -161,7 +162,7 @@ class TestMarginalValidation:
         b = np.full(y.shape[0], 1.0 / y.shape[0])
         b[0] = -0.1
         with pytest.raises(ValueError, match=r"b\[0\]"):
-            sinkhorn(cost, reg=0.5, b=b)
+            sinkhorn(cost, SinkhornConfig(reg=0.5), b=b)
 
     def test_nan_entry_raises(self, clouds):
         x, y = clouds
@@ -169,22 +170,22 @@ class TestMarginalValidation:
         a = np.full(x.shape[0], 1.0 / x.shape[0])
         a[1] = np.nan
         with pytest.raises(ValueError, match=r"a\[1\]"):
-            sinkhorn(cost, reg=0.5, a=a)
+            sinkhorn(cost, SinkhornConfig(reg=0.5), a=a)
 
     def test_wrong_length_raises(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
         with pytest.raises(ValueError, match="length"):
-            sinkhorn(cost, reg=0.5, a=np.full(x.shape[0] + 1, 0.1))
+            sinkhorn(cost, SinkhornConfig(reg=0.5), a=np.full(x.shape[0] + 1, 0.1))
         with pytest.raises(ValueError, match="length"):
-            sinkhorn(cost, reg=0.5, b=np.full(y.shape[0] - 1, 0.2))
+            sinkhorn(cost, SinkhornConfig(reg=0.5), b=np.full(y.shape[0] - 1, 0.2))
 
     def test_valid_marginals_still_accepted(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
         a = np.linspace(1.0, 2.0, x.shape[0])
         a /= a.sum()
-        result = sinkhorn(cost, reg=0.5, a=a)
+        result = sinkhorn(cost, SinkhornConfig(reg=0.5), a=a)
         assert np.allclose(result.plan.sum(axis=1), a, atol=1e-7)
 
 
@@ -192,28 +193,28 @@ class TestWarmStart:
     def test_result_carries_consistent_duals(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
-        result = sinkhorn(cost, reg=0.5)
+        result = sinkhorn(cost, SinkhornConfig(reg=0.5))
         rebuilt = np.exp(-cost / 0.5 + result.f[:, None] + result.g[None, :])
         assert np.allclose(rebuilt, result.plan, atol=1e-12)
 
     def test_warm_and_cold_converge_to_same_plan(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
-        cold = sinkhorn(cost, reg=0.5, tol=1e-11)
+        cold = sinkhorn(cost, SinkhornConfig(reg=0.5, tol=1e-11))
         # Perturb the problem slightly, as one DIM epoch does, and solve it
         # both cold and warm-started from the previous duals.
         shifted = squared_euclidean_cost(x + 0.01, y)
-        cold_next = sinkhorn(shifted, reg=0.5, tol=1e-11)
-        warm_next = sinkhorn(shifted, reg=0.5, tol=1e-11, init=(cold.f, cold.g))
+        cold_next = sinkhorn(shifted, SinkhornConfig(reg=0.5, tol=1e-11))
+        warm_next = sinkhorn(shifted, SinkhornConfig(reg=0.5, tol=1e-11), init=(cold.f, cold.g))
         assert warm_next.converged
         assert np.allclose(warm_next.plan, cold_next.plan, atol=1e-9)
 
     def test_warm_start_on_same_problem_is_cheaper(self, clouds):
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
-        cold = sinkhorn(cost, reg=0.5, tol=1e-9, max_iter=5000)
+        cold = sinkhorn(cost, SinkhornConfig(reg=0.5, tol=1e-9, max_iter=5000))
         assert cold.converged
-        warm = sinkhorn(cost, reg=0.5, tol=1e-9, max_iter=5000, init=(cold.f, cold.g))
+        warm = sinkhorn(cost, SinkhornConfig(reg=0.5, tol=1e-9, max_iter=5000), init=(cold.f, cold.g))
         assert warm.iterations <= cold.iterations
         assert warm.iterations <= 2  # starting at the fixed point
 
@@ -221,7 +222,7 @@ class TestWarmStart:
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
         with pytest.raises(ValueError, match="init"):
-            sinkhorn(cost, reg=0.5, init=(np.zeros(3), np.zeros(y.shape[0])))
+            sinkhorn(cost, SinkhornConfig(reg=0.5), init=(np.zeros(3), np.zeros(y.shape[0])))
 
     def test_warm_start_counters_recorded(self, clouds):
         from repro.obs import recording
@@ -229,8 +230,8 @@ class TestWarmStart:
         x, y = clouds
         cost = squared_euclidean_cost(x, y)
         with recording() as rec:
-            cold = sinkhorn(cost, reg=0.5)
-            sinkhorn(cost, reg=0.5, init=(cold.f, cold.g))
+            cold = sinkhorn(cost, SinkhornConfig(reg=0.5))
+            sinkhorn(cost, SinkhornConfig(reg=0.5), init=(cold.f, cold.g))
         counters = rec.metrics.snapshot()["counters"]
         assert counters["sinkhorn.solves"] == 2
         assert counters["sinkhorn.warm_starts"] == 1
@@ -243,22 +244,24 @@ class TestWarmStart:
 class TestSinkhornDivergence:
     def test_zero_on_identical_clouds(self, clouds):
         x, _ = clouds
-        assert sinkhorn_divergence(x, x, reg=0.5) == pytest.approx(0.0, abs=1e-7)
+        assert sinkhorn_divergence(x, x, SinkhornConfig(reg=0.5)) == pytest.approx(
+            0.0, abs=1e-7
+        )
 
     def test_positive_on_distinct_clouds(self, clouds):
         x, y = clouds
-        assert sinkhorn_divergence(x, y, reg=0.5) > 0.0
+        assert sinkhorn_divergence(x, y, SinkhornConfig(reg=0.5)) > 0.0
 
     def test_symmetry(self, clouds):
         x, y = clouds
-        forward = sinkhorn_divergence(x, y, reg=0.5)
-        backward = sinkhorn_divergence(y, x, reg=0.5)
+        forward = sinkhorn_divergence(x, y, SinkhornConfig(reg=0.5))
+        backward = sinkhorn_divergence(y, x, SinkhornConfig(reg=0.5))
         assert forward == pytest.approx(backward, rel=1e-6)
 
     def test_grows_with_separation(self, clouds):
         x, _ = clouds
-        near = sinkhorn_divergence(x, x + 0.1, reg=0.5)
-        far = sinkhorn_divergence(x, x + 2.0, reg=0.5)
+        near = sinkhorn_divergence(x, x + 0.1, SinkhornConfig(reg=0.5))
+        far = sinkhorn_divergence(x, x + 2.0, SinkhornConfig(reg=0.5))
         assert far > near
 
 
@@ -266,26 +269,26 @@ class TestMaskingSinkhornDivergence:
     def test_zero_on_identical(self, rng, clouds):
         x, _ = clouds
         mask = (rng.random(x.shape) > 0.3).astype(float)
-        value = masking_sinkhorn_divergence(x, x, mask, reg=0.5)
+        value = masking_sinkhorn_divergence(x, x, mask, SinkhornConfig(reg=0.5))
         assert value == pytest.approx(0.0, abs=1e-7)
 
     def test_full_mask_matches_unmasked(self, clouds):
         x, y = clouds
         mask = np.ones_like(x)
-        masked = masking_sinkhorn_divergence(x, y, mask, reg=0.5)
-        plain = sinkhorn_divergence(x, y, reg=0.5)
+        masked = masking_sinkhorn_divergence(x, y, mask, SinkhornConfig(reg=0.5))
+        plain = sinkhorn_divergence(x, y, SinkhornConfig(reg=0.5))
         assert masked == pytest.approx(plain, rel=1e-6)
 
     def test_zero_mask_collapses_to_zero(self, clouds):
         x, y = clouds
         mask = np.zeros_like(x)
-        value = masking_sinkhorn_divergence(x, y, mask, reg=0.5)
+        value = masking_sinkhorn_divergence(x, y, mask, SinkhornConfig(reg=0.5))
         assert value == pytest.approx(0.0, abs=1e-7)
 
     def test_positive_on_shifted(self, rng, clouds):
         x, _ = clouds
         mask = (rng.random(x.shape) > 0.3).astype(float)
-        assert masking_sinkhorn_divergence(x + 1.0, x, mask, reg=0.5) > 0.0
+        assert masking_sinkhorn_divergence(x + 1.0, x, mask, SinkhornConfig(reg=0.5)) > 0.0
 
 
 class TestMaskingSinkhornLoss:
@@ -307,11 +310,11 @@ class TestMaskingSinkhornLoss:
                 perturbed = x.copy()
                 perturbed[i, j] += eps
                 up = masking_sinkhorn_divergence(
-                    perturbed, y, mask, reg=0.5, max_iter=3000, tol=1e-11
+                    perturbed, y, mask, SinkhornConfig(reg=0.5, max_iter=3000, tol=1e-11)
                 )
                 perturbed[i, j] -= 2 * eps
                 down = masking_sinkhorn_divergence(
-                    perturbed, y, mask, reg=0.5, max_iter=3000, tol=1e-11
+                    perturbed, y, mask, SinkhornConfig(reg=0.5, max_iter=3000, tol=1e-11)
                 )
                 numeric[i, j] = (up - down) / (2 * eps) / (2 * n)
         assert np.allclose(analytic, numeric, atol=1e-5)
@@ -323,7 +326,7 @@ class TestMaskingSinkhornLoss:
         loss_fn = MaskingSinkhornLoss(reg=0.7, max_iter=2000, tol=1e-10)
         value = loss_fn(Tensor(x), y, mask).item()
         expected = masking_sinkhorn_divergence(
-            x, y, mask, reg=0.7, max_iter=2000, tol=1e-10
+            x, y, mask, SinkhornConfig(reg=0.7, max_iter=2000, tol=1e-10)
         ) / (2 * 6)
         assert value == pytest.approx(expected, abs=1e-8)
 

@@ -1,0 +1,345 @@
+"""Batched Sinkhorn: stacked-vs-loop parity, the SinkhornConfig redesign,
+and the one-release deprecation shim for the old knob-argument spelling."""
+
+import numpy as np
+import pytest
+
+from repro.ot import (
+    BatchedSinkhornResult,
+    SinkhornConfig,
+    masking_sinkhorn_divergence,
+    sinkhorn,
+    sinkhorn_batched,
+    sinkhorn_divergence,
+)
+
+PARITY_TOL = 1e-8
+
+
+def _random_stack(rng, batch, n, m, scale=1.0):
+    return scale * rng.random((batch, n, m))
+
+
+def _loop_solve(cost, config, a=None, b=None, init=None):
+    return [
+        sinkhorn(
+            cost[k],
+            config,
+            a=None if a is None else a[k],
+            b=None if b is None else b[k],
+            init=None if init is None else (init[0][k], init[1][k]),
+        )
+        for k in range(cost.shape[0])
+    ]
+
+
+def _assert_parity(stacked, looped):
+    assert len(stacked) == len(looped)
+    for k, single in enumerate(looped):
+        problem = stacked.problem(k)
+        np.testing.assert_allclose(problem.plan, single.plan, atol=PARITY_TOL)
+        assert problem.value == pytest.approx(single.value, abs=PARITY_TOL)
+        assert problem.transport_cost == pytest.approx(
+            single.transport_cost, abs=PARITY_TOL
+        )
+        np.testing.assert_allclose(problem.f, single.f, atol=PARITY_TOL)
+        np.testing.assert_allclose(problem.g, single.g, atol=PARITY_TOL)
+        assert problem.iterations == single.iterations
+        assert problem.converged == single.converged
+
+
+class TestBatchedLoopParity:
+    @pytest.mark.parametrize("batch", [1, 2, 7])
+    def test_values_duals_iterations_match_loop(self, rng, batch):
+        cost = _random_stack(rng, batch, 9, 6)
+        config = SinkhornConfig(reg=0.3, max_iter=400, tol=1e-10)
+        _assert_parity(sinkhorn_batched(cost, config), _loop_solve(cost, config))
+
+    def test_uneven_marginals_match_loop(self, rng):
+        batch, n, m = 4, 7, 5
+        cost = _random_stack(rng, batch, n, m)
+        a = rng.random((batch, n)) + 0.1
+        a /= a.sum(axis=1, keepdims=True)
+        b = rng.random((batch, m)) + 0.1
+        b /= b.sum(axis=1, keepdims=True)
+        config = SinkhornConfig(reg=0.4, max_iter=500, tol=1e-10)
+        _assert_parity(
+            sinkhorn_batched(cost, config, a=a, b=b),
+            _loop_solve(cost, config, a=a, b=b),
+        )
+
+    def test_shared_marginal_vector_matches_loop(self, rng):
+        batch, n, m = 3, 6, 6
+        cost = _random_stack(rng, batch, n, m)
+        a = np.full(n, 1.0 / n)
+        b = rng.random(m) + 0.5
+        b /= b.sum()
+        config = SinkhornConfig(reg=0.5, max_iter=300, tol=1e-9)
+        stacked = sinkhorn_batched(cost, config, a=a, b=b)
+        looped = [sinkhorn(cost[k], config, a=a, b=b) for k in range(batch)]
+        _assert_parity(stacked, looped)
+
+    def test_early_converged_problem_inside_running_stack(self, rng):
+        # Mixed difficulty: near-constant costs converge in a sweep or two
+        # while sharp ones keep iterating; each frozen problem must report
+        # exactly the loop solver's iteration count and duals.
+        easy = 1e-3 * rng.random((2, 8, 8))
+        hard = 5.0 * rng.random((3, 8, 8))
+        cost = np.concatenate([easy[:1], hard[:2], easy[1:], hard[2:]])
+        config = SinkhornConfig(reg=0.2, max_iter=600, tol=1e-10)
+        stacked = sinkhorn_batched(cost, config)
+        looped = _loop_solve(cost, config)
+        iterations = [r.iterations for r in looped]
+        assert min(iterations) < max(iterations)  # the mix actually mixes
+        _assert_parity(stacked, looped)
+
+    def test_nonconverged_problems_flagged(self, rng):
+        cost = 10.0 * rng.random((2, 10, 10))
+        config = SinkhornConfig(reg=0.05, max_iter=2, tol=1e-12)
+        result = sinkhorn_batched(cost, config)
+        assert not result.converged.any()
+        assert (result.iterations == 2).all()
+        assert (result.marginal_violation > config.tol).all()
+
+    def test_stacked_warm_start_matches_loop_and_cuts_sweeps(self, rng):
+        cost = _random_stack(rng, 3, 10, 10)
+        config = SinkhornConfig(reg=0.3, max_iter=500, tol=1e-9)
+        cold = sinkhorn_batched(cost, config)
+        nearby = cost + 1e-4 * rng.random(cost.shape)
+        warm = sinkhorn_batched(nearby, config, init=(cold.f, cold.g))
+        _assert_parity(warm, _loop_solve(nearby, config, init=(cold.f, cold.g)))
+        assert warm.iterations.sum() < cold.iterations.sum()
+
+    def test_zero_init_rows_equal_cold_start(self, rng):
+        # A partially warm stack expresses cold slots as zero rows; those
+        # slots must behave exactly like an init-free solve.
+        cost = _random_stack(rng, 2, 6, 6)
+        config = SinkhornConfig(reg=0.4, max_iter=300, tol=1e-9)
+        cold = sinkhorn_batched(cost, config)
+        half_warm = sinkhorn_batched(
+            cost,
+            config,
+            init=(
+                np.vstack([cold.f[0], np.zeros(6)]),
+                np.vstack([cold.g[0], np.zeros(6)]),
+            ),
+        )
+        np.testing.assert_allclose(
+            half_warm.plan[1], cold.plan[1], atol=PARITY_TOL
+        )
+        assert half_warm.iterations[1] == cold.iterations[1]
+
+    def test_divergences_agree_between_paths(self, rng):
+        x = rng.random((12, 4))
+        y = rng.random((12, 4))
+        mask = (rng.random((12, 4)) > 0.3).astype(float)
+        config = SinkhornConfig(reg=0.5)
+        assert sinkhorn_divergence(x, y, config) == pytest.approx(
+            sinkhorn_divergence(x, y, config, batched=False), abs=PARITY_TOL
+        )
+        assert masking_sinkhorn_divergence(y, x, mask, config) == pytest.approx(
+            masking_sinkhorn_divergence(y, x, mask, config, batched=False),
+            abs=PARITY_TOL,
+        )
+
+    def test_unequal_row_counts_fall_back_to_loop(self, rng):
+        # The three divergence problems have different shapes here, so the
+        # stacked fast path cannot apply; the fallback must still answer.
+        x = rng.random((8, 3))
+        y = rng.random((5, 3))
+        value = sinkhorn_divergence(x, y, SinkhornConfig(reg=0.5))
+        assert np.isfinite(value)
+        assert value == pytest.approx(
+            sinkhorn_divergence(x, y, SinkhornConfig(reg=0.5), batched=False),
+            abs=PARITY_TOL,
+        )
+
+
+class TestBatchedResult:
+    def test_len_and_problem_roundtrip(self, rng):
+        cost = _random_stack(rng, 3, 5, 4)
+        result = sinkhorn_batched(cost, SinkhornConfig(reg=0.5))
+        assert len(result) == 3
+        single = result.problem(1)
+        assert single.plan.shape == (5, 4)
+        assert isinstance(single.value, float)
+        assert isinstance(single.iterations, int)
+        assert isinstance(single.converged, bool)
+
+    def test_plan_marginals_match_requested(self, rng):
+        batch, n, m = 3, 6, 4
+        cost = _random_stack(rng, batch, n, m)
+        a = rng.random((batch, n)) + 0.2
+        a /= a.sum(axis=1, keepdims=True)
+        result = sinkhorn_batched(
+            cost, SinkhornConfig(reg=0.5, tol=1e-10), a=a
+        )
+        np.testing.assert_allclose(result.plan.sum(axis=2), a, atol=1e-9)
+        np.testing.assert_allclose(
+            result.plan.sum(axis=1), np.full((batch, m), 1.0 / m), atol=1e-9
+        )
+
+
+class TestBatchedValidation:
+    def test_rejects_non_3d_cost(self, rng):
+        with pytest.raises(ValueError, match=r"stacked \(B, n, m\)"):
+            sinkhorn_batched(rng.random((4, 4)), SinkhornConfig(reg=0.5))
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError, match="empty problem stack"):
+            sinkhorn_batched(np.zeros((0, 3, 3)), SinkhornConfig(reg=0.5))
+
+    def test_rejects_bad_marginal_shape(self, rng):
+        cost = _random_stack(rng, 2, 4, 4)
+        with pytest.raises(ValueError, match="marginal 'a'"):
+            sinkhorn_batched(cost, SinkhornConfig(reg=0.5), a=np.full(3, 1 / 3))
+
+    def test_nonpositive_marginal_names_problem_and_index(self, rng):
+        cost = _random_stack(rng, 2, 4, 4)
+        b = np.full((2, 4), 0.25)
+        b[1, 2] = 0.0
+        with pytest.raises(ValueError, match=r"b\[1\]\[2\]"):
+            sinkhorn_batched(cost, SinkhornConfig(reg=0.5), b=b)
+
+    def test_rejects_misshapen_init(self, rng):
+        cost = _random_stack(rng, 2, 4, 4)
+        with pytest.raises(ValueError, match="init duals"):
+            sinkhorn_batched(
+                cost,
+                SinkhornConfig(reg=0.5),
+                init=(np.zeros((2, 3)), np.zeros((2, 4))),
+            )
+
+
+class TestSinkhornConfig:
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            SinkhornConfig(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="regulariser must be positive"):
+            SinkhornConfig(reg=0.0)
+        with pytest.raises(ValueError, match="regulariser must be positive"):
+            SinkhornConfig(reg=float("nan"))
+        with pytest.raises(ValueError, match="max_iter"):
+            SinkhornConfig(reg=0.5, max_iter=0)
+        with pytest.raises(ValueError, match="tol"):
+            SinkhornConfig(reg=0.5, tol=0.0)
+
+    def test_frozen(self):
+        config = SinkhornConfig(reg=0.5)
+        with pytest.raises(AttributeError):
+            config.reg = 1.0
+
+
+class TestDeprecationShim:
+    @pytest.fixture()
+    def cost(self, rng):
+        return rng.random((5, 5))
+
+    def test_positional_reg_warns_and_matches_config(self, cost):
+        with pytest.warns(DeprecationWarning, match="SinkhornConfig"):
+            legacy = sinkhorn(cost, 0.5, max_iter=200, tol=1e-8)
+        fresh = sinkhorn(cost, SinkhornConfig(reg=0.5, max_iter=200, tol=1e-8))
+        np.testing.assert_array_equal(legacy.plan, fresh.plan)
+        assert legacy.value == fresh.value
+
+    def test_keyword_reg_warns(self, cost):
+        with pytest.warns(DeprecationWarning):
+            sinkhorn(cost, reg=0.5)
+
+    def test_batched_shares_the_shim(self, cost):
+        with pytest.warns(DeprecationWarning):
+            stacked = sinkhorn_batched(cost[None], 0.5)
+        assert len(stacked) == 1
+
+    def test_config_plus_legacy_kwargs_rejected(self, cost):
+        with pytest.raises(TypeError, match="both a SinkhornConfig"):
+            sinkhorn(cost, SinkhornConfig(reg=0.5), max_iter=10)
+
+    def test_double_reg_rejected(self, cost):
+        with pytest.raises(TypeError, match="multiple values for 'reg'"):
+            sinkhorn(cost, 0.5, reg=0.5)
+
+    def test_unknown_kwarg_rejected(self, cost):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            sinkhorn(cost, 0.5, regularizer=0.5)
+
+    def test_missing_reg_rejected(self, cost):
+        with pytest.raises(TypeError, match="needs a SinkhornConfig"):
+            sinkhorn(cost)
+
+    def test_divergences_accept_legacy_form(self, rng):
+        x = rng.random((6, 3))
+        with pytest.warns(DeprecationWarning):
+            legacy = sinkhorn_divergence(x, x, reg=0.5)
+        assert legacy == pytest.approx(
+            sinkhorn_divergence(x, x, SinkhornConfig(reg=0.5)), abs=1e-12
+        )
+
+
+class TestLossGradientParity:
+    @pytest.fixture()
+    def cloud(self, rng):
+        n, d = 10, 4
+        x = rng.random((n, d))
+        x_bar = x + 0.1 * rng.normal(size=(n, d))
+        mask = (rng.random((n, d)) > 0.3).astype(float)
+        return x_bar, x, mask
+
+    def _grad(self, batched, cloud):
+        from repro.ot import MaskingSinkhornLoss
+        from repro.tensor import Tensor
+
+        x_bar, x, mask = cloud
+        loss_fn = MaskingSinkhornLoss(
+            reg=0.5, max_iter=500, tol=1e-9, batched=batched
+        )
+        x_bar_t = Tensor(x_bar, requires_grad=True)
+        loss = loss_fn(x_bar_t, x, mask)
+        loss.backward()
+        return float(loss.data), x_bar_t.grad
+
+    def test_batched_and_loop_losses_agree_to_gradient(self, cloud):
+        value_b, grad_b = self._grad(True, cloud)
+        value_l, grad_l = self._grad(False, cloud)
+        assert value_b == pytest.approx(value_l, abs=PARITY_TOL)
+        np.testing.assert_allclose(grad_b, grad_l, atol=PARITY_TOL)
+
+    def test_batched_loss_gradcheck(self, rng):
+        from repro.ot import MaskingSinkhornLoss
+        from repro.tensor import Tensor, check_gradients
+
+        n, d = 5, 3
+        x = rng.random((n, d))
+        mask = (rng.random((n, d)) > 0.3).astype(float)
+        x_bar = Tensor(x + 0.1 * rng.normal(size=(n, d)), requires_grad=True)
+        loss_fn = MaskingSinkhornLoss(
+            reg=1.0, max_iter=1000, tol=1e-12, batched=True
+        )
+        check_gradients(
+            lambda t: loss_fn(t, x, mask), [x_bar], atol=1e-4, rtol=1e-3
+        )
+
+
+class TestBatchedTelemetry:
+    def test_counters_and_event_fields(self, rng):
+        from repro.obs import recording
+
+        cost = _random_stack(rng, 3, 6, 6)
+        config = SinkhornConfig(reg=0.5, tol=1e-9)
+        with recording() as rec:
+            result = sinkhorn_batched(cost, config)
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters["sinkhorn.solves"] == 3.0
+        assert counters["sinkhorn.batched_solves"] == 1.0
+        assert counters["sinkhorn.batched_problems"] == 3.0
+        assert "sinkhorn.loop_solves" not in counters
+        events = [e for e in rec.events if e.name == "sinkhorn.batched_solve"]
+        assert len(events) == 1
+        fields = events[0].fields
+        assert fields["stack"] == 3
+        assert fields["sweeps"] == int(result.iterations.max())
+        assert fields["iterations"] == int(result.iterations.sum())
+        assert fields["converged"] == 3
+        assert fields["warm_started"] is False

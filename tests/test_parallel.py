@@ -11,6 +11,7 @@ from repro.core import DIM, DimConfig, SSE, SseConfig
 from repro.data import holdout_split
 from repro.models import GAINImputer
 from repro.obs import recording
+from repro.ot import SinkhornConfig
 from repro.parallel import (
     ExecutionContext,
     assert_backend_parity,
@@ -419,8 +420,8 @@ class TestChunkedDivergence:
 
         x_bar, x, mask = cloud
         assert chunked_masking_sinkhorn_divergence(
-            x_bar, x, mask, 0.5, chunk_size=len(x)
-        ) == masking_sinkhorn_divergence(x_bar, x, mask, 0.5)
+            x_bar, x, mask, SinkhornConfig(reg=0.5), chunk_size=len(x)
+        ) == masking_sinkhorn_divergence(x_bar, x, mask, SinkhornConfig(reg=0.5))
 
     def test_backend_parity(self, cloud):
         from repro.ot import chunked_masking_sinkhorn_divergence
@@ -428,7 +429,8 @@ class TestChunkedDivergence:
         x_bar, x, mask = cloud
         values = {
             backend: chunked_masking_sinkhorn_divergence(
-                x_bar, x, mask, 0.5, chunk_size=16,
+                x_bar, x, mask, SinkhornConfig(reg=0.5), chunk_size=16,
+                batched=False,  # keep the loop fan-out path exercised
                 context=ExecutionContext(backend, workers=2 if backend == "process" else None),
             )
             for backend in ("serial", "process")
@@ -447,12 +449,13 @@ class TestChunkedDivergence:
         manual = sum(
             (stop - start)
             * masking_sinkhorn_divergence(
-                x_bar[start:stop], x[start:stop], mask[start:stop], 0.5
+                x_bar[start:stop], x[start:stop], mask[start:stop],
+                SinkhornConfig(reg=0.5), batched=False,
             )
             for start, stop in bounds
         ) / n
         chunked = chunked_masking_sinkhorn_divergence(
-            x_bar, x, mask, 0.5, chunk_size=16
+            x_bar, x, mask, SinkhornConfig(reg=0.5), chunk_size=16, batched=False
         )
         assert chunked == pytest.approx(manual, abs=1e-15)
 
@@ -460,10 +463,11 @@ class TestChunkedDivergence:
         from repro.ot import chunked_masking_sinkhorn_divergence
 
         x_bar, x, mask = cloud
+        cfg = SinkhornConfig(reg=0.5)
         with pytest.raises(ValueError):
-            chunked_masking_sinkhorn_divergence(x_bar, x, mask, 0.5, chunk_size=0)
+            chunked_masking_sinkhorn_divergence(x_bar, x, mask, cfg, chunk_size=0)
         with pytest.raises(ValueError):
-            chunked_masking_sinkhorn_divergence(x_bar[:-1], x, mask, 0.5)
+            chunked_masking_sinkhorn_divergence(x_bar[:-1], x, mask, cfg)
         empty = np.zeros((0, 5))
         with pytest.raises(ValueError):
-            chunked_masking_sinkhorn_divergence(empty, empty, empty, 0.5)
+            chunked_masking_sinkhorn_divergence(empty, empty, empty, cfg)

@@ -10,7 +10,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.data import IncompleteDataset, MinMaxNormalizer
 from repro.models import MeanImputer, impute_equation
-from repro.ot import sinkhorn, squared_euclidean_cost
+from repro.ot import SinkhornConfig, sinkhorn, squared_euclidean_cost
 from repro.parallel import ExecutionContext, available_cpus, spawn_rng
 from repro.tensor import Tensor, ops
 
@@ -66,7 +66,7 @@ class TestOTProperties:
     @settings(max_examples=15, deadline=None)
     def test_sinkhorn_plan_marginals(self, data):
         cost = squared_euclidean_cost(data, data + 1.0)
-        result = sinkhorn(cost / max(cost.max(), 1.0), reg=0.5, max_iter=2000)
+        result = sinkhorn(cost / max(cost.max(), 1.0), SinkhornConfig(reg=0.5, max_iter=2000))
         n = data.shape[0]
         assert np.allclose(result.plan.sum(axis=1), 1.0 / n, atol=1e-6)
         assert np.allclose(result.plan.sum(axis=0), 1.0 / n, atol=1e-6)

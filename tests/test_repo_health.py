@@ -122,6 +122,70 @@ class TestObsDocConsistency:
         assert any(k.startswith("rmse.") for k in baseline["metrics"])
 
 
+class TestBackendDocConsistency:
+    """docs must track the tensor-backend protocol and the batched solver."""
+
+    def test_backends_doc_exists(self):
+        assert (REPO_ROOT / "docs" / "backends.md").exists()
+
+    def test_backend_symbols_documented_in_api(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for name in (
+            "TensorBackend",
+            "NumpyBackend",
+            "ArrayApiBackend",
+            "get_backend",
+            "set_backend",
+            "use_backend",
+            "validate_backend",
+            "REPRO_BACKEND",
+        ):
+            assert name in api_text, f"docs/api.md misses {name}"
+
+    def test_batched_solver_symbols_documented_in_api(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for name in (
+            "SinkhornConfig",
+            "sinkhorn_batched",
+            "BatchedSinkhornResult",
+            "BatchPlan",
+        ):
+            assert name in api_text, f"docs/api.md misses {name}"
+
+    def test_protocol_functions_listed_in_backends_doc(self):
+        from repro.tensor.backend import PROTOCOL_FUNCTIONS
+
+        doc = (REPO_ROOT / "docs" / "backends.md").read_text()
+        missing = [name for name in PROTOCOL_FUNCTIONS if f"`{name}`" not in doc]
+        assert not missing, f"docs/backends.md misses protocol functions: {missing}"
+
+    def test_batched_telemetry_documented(self):
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "sinkhorn.batched_solve",
+            "sinkhorn.batched_solves",
+            "sinkhorn.batched_problems",
+            "sinkhorn.batched_stack_size",
+            "sinkhorn.batched_sweeps",
+            "sinkhorn.batched_iterations",
+            "sinkhorn.loop_solves",
+        ):
+            assert name in obs_text, f"docs/observability.md misses {name}"
+
+    def test_backends_doc_cross_linked(self):
+        for doc in ("architecture.md", "api.md"):
+            text = (REPO_ROOT / "docs" / doc).read_text()
+            assert "backends.md" in text, f"docs/{doc} does not link docs/backends.md"
+        assert "backends.md" in (REPO_ROOT / "README.md").read_text()
+
+    def test_backends_doc_references_real_files(self):
+        doc = (REPO_ROOT / "docs" / "backends.md").read_text()
+        for rel_path in re.findall(r"tests/[\w./-]+\.py", doc):
+            assert (REPO_ROOT / rel_path).exists(), (
+                f"docs/backends.md references missing {rel_path}"
+            )
+
+
 class TestParallelDocConsistency:
     """docs must track the repro.parallel surface, events, and knobs."""
 

@@ -1,0 +1,206 @@
+"""Tensor backend protocol: conformance validation, selection plumbing, and
+the OT solver suite re-run under a swapped array substrate.
+
+The ``array_api_strict`` legs skip when that package is not installed (CI's
+backend-matrix job installs it; the base environment need not).
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.ot import SinkhornConfig, masking_sinkhorn_divergence, sinkhorn, sinkhorn_batched
+from repro.tensor import (
+    ArrayApiBackend,
+    NumpyBackend,
+    Tensor,
+    get_backend,
+    ops,
+    set_backend,
+    use_backend,
+    validate_backend,
+)
+from repro.tensor.backend import PROTOCOL_FUNCTIONS
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "backend",
+        [NumpyBackend(), ArrayApiBackend(np, name="numpy-as-array-api")],
+        ids=["numpy", "array-api-over-numpy"],
+    )
+    def test_validate_accepts_conformant_backend(self, backend):
+        assert validate_backend(backend) is backend
+
+    def test_every_protocol_function_is_callable(self):
+        backend = NumpyBackend()
+        for name in PROTOCOL_FUNCTIONS:
+            assert callable(getattr(backend, name)), name
+
+    def test_missing_primitive_named_in_error(self):
+        backend = NumpyBackend()
+        broken = type("Broken", (NumpyBackend,), {"logsumexp": None})()
+        with pytest.raises(TypeError, match="missing callable 'logsumexp'"):
+            validate_backend(broken)
+        validate_backend(backend)  # the original is untouched
+
+    def test_wrong_answer_rejected(self):
+        class OffByOne(NumpyBackend):
+            name = "off-by-one"
+
+            def logsumexp(self, x, axis=None, keepdims=False):
+                return super().logsumexp(x, axis=axis, keepdims=keepdims) + 1.0
+
+        with pytest.raises(ValueError, match="known-answer"):
+            validate_backend(OffByOne())
+
+    def test_generic_logsumexp_handles_all_neg_inf_rows(self):
+        backend = ArrayApiBackend(np)
+        probe = np.array([[-np.inf, -np.inf], [0.0, 0.0]])
+        with np.errstate(divide="ignore"):
+            got = backend.to_numpy(backend.logsumexp(probe, axis=1))
+        assert got[0] == -np.inf
+        assert got[1] == pytest.approx(np.log(2.0))
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_set_backend_roundtrip(self):
+        try:
+            installed = set_backend(ArrayApiBackend(np, name="swap"))
+            assert get_backend() is installed
+        finally:
+            set_backend(None)
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend()
+        with use_backend(ArrayApiBackend(np, name="scoped")) as scoped:
+            assert get_backend() is scoped
+        assert get_backend() is before
+
+    def test_unresolvable_name_raises(self):
+        with pytest.raises(ValueError, match="cannot resolve tensor backend"):
+            set_backend("no_such_backend_module")
+        assert get_backend().name == "numpy"  # failed install leaves state alone
+
+    def test_env_var_selects_backend(self):
+        env = dict(os.environ, REPRO_BACKEND="numpy")
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.tensor import get_backend; print(get_backend().name)",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "numpy"
+
+
+class TestOpsUnderSwappedBackend:
+    """ops kernels must give NumPy-identical answers through the adapter."""
+
+    def test_forward_kernels_match_numpy(self, rng):
+        data = rng.normal(size=(4, 5))
+        reference = {
+            "exp": ops.exp(Tensor(data)).data,
+            "logsumexp": ops.logsumexp(Tensor(data), axis=1).data,
+            "softmax": ops.softmax(Tensor(data), axis=1).data,
+            "sum": ops.sum(Tensor(data)).data,
+        }
+        with use_backend(ArrayApiBackend(np, name="adapter")):
+            np.testing.assert_allclose(ops.exp(Tensor(data)).data, reference["exp"])
+            np.testing.assert_allclose(
+                ops.logsumexp(Tensor(data), axis=1).data, reference["logsumexp"]
+            )
+            np.testing.assert_allclose(
+                ops.softmax(Tensor(data), axis=1).data, reference["softmax"]
+            )
+            np.testing.assert_allclose(ops.sum(Tensor(data)).data, reference["sum"])
+
+    def test_gradients_flow_under_adapter(self, rng):
+        data = rng.normal(size=(3, 4))
+        with use_backend(ArrayApiBackend(np, name="adapter")):
+            t = Tensor(data, requires_grad=True)
+            ops.logsumexp(t, axis=1).sum().backward()
+            grad = t.grad
+        softmax = np.exp(data - ops.logsumexp(Tensor(data), axis=1, keepdims=True).data)
+        np.testing.assert_allclose(grad, softmax, atol=1e-12)
+
+
+class TestOtSuiteUnderAdapter:
+    """The Sinkhorn solvers answer identically on a swapped backend."""
+
+    def test_loop_and_batched_solvers_match_default_backend(self, rng):
+        cost = rng.random((3, 8, 8))
+        config = SinkhornConfig(reg=0.4, max_iter=300, tol=1e-9)
+        reference = sinkhorn_batched(cost, config)
+        reference_single = sinkhorn(cost[0], config)
+        with use_backend(ArrayApiBackend(np, name="adapter")):
+            swapped = sinkhorn_batched(cost, config)
+            swapped_single = sinkhorn(cost[0], config)
+        np.testing.assert_allclose(swapped.plan, reference.plan, atol=1e-12)
+        np.testing.assert_array_equal(swapped.iterations, reference.iterations)
+        np.testing.assert_allclose(
+            swapped_single.plan, reference_single.plan, atol=1e-12
+        )
+
+    def test_masking_divergence_matches_default_backend(self, rng):
+        x = rng.random((10, 4))
+        x_bar = x + 0.1 * rng.normal(size=(10, 4))
+        mask = (rng.random((10, 4)) > 0.3).astype(float)
+        config = SinkhornConfig(reg=0.5)
+        reference = masking_sinkhorn_divergence(x_bar, x, mask, config)
+        with use_backend(ArrayApiBackend(np, name="adapter")):
+            swapped = masking_sinkhorn_divergence(x_bar, x, mask, config)
+        assert swapped == pytest.approx(reference, abs=1e-12)
+
+
+class TestArrayApiStrict:
+    """Conformance against the reference strict namespace, when installed."""
+
+    def test_strict_backend_passes_validation(self):
+        xp = pytest.importorskip("array_api_strict")
+        validate_backend(ArrayApiBackend(xp))
+
+    def test_solvers_match_numpy_under_strict(self, rng):
+        xp = pytest.importorskip("array_api_strict")
+        cost = rng.random((2, 6, 6))
+        config = SinkhornConfig(reg=0.5, max_iter=200, tol=1e-9)
+        reference = sinkhorn_batched(cost, config)
+        with use_backend(ArrayApiBackend(xp)):
+            swapped = sinkhorn_batched(cost, config)
+        np.testing.assert_allclose(swapped.plan, reference.plan, atol=1e-10)
+        np.testing.assert_array_equal(swapped.iterations, reference.iterations)
+
+    def test_tier1_ot_suite_passes_under_strict(self):
+        pytest.importorskip("array_api_strict")
+        env = dict(os.environ, REPRO_BACKEND="array_api_strict")
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        run = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                os.path.join(REPO_ROOT, "tests", "test_ot.py"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert run.returncode == 0, run.stdout + run.stderr

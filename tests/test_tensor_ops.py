@@ -249,6 +249,7 @@ def _sweep_cases(rng):
             lambda a: ops.log_softmax(a, axis=-1).mean(),
             [t(3, 4)],
         ),
+        "logsumexp": (lambda a: ops.logsumexp(a, axis=1), [t(3, 4)]),
         "clip": (lambda a: ops.clip(a, -1.0, 1.0), [clip_data]),
         "sum": (lambda a: ops.sum(a, axis=1), [t(3, 4)]),
         "mean": (lambda a: ops.mean(a, axis=0), [t(3, 4)]),
