@@ -10,6 +10,13 @@ from .baselines import (
     write_baseline,
 )
 from .charts import ascii_chart, sparkline
+from .scaling import (
+    CurvePoint,
+    ScalingBenchResult,
+    ScalingConfig,
+    run_scaling_bench,
+    snapshot_from_scaling,
+)
 from .serving import ServingBenchResult, run_serving_bench
 from .runner import (
     BenchCase,
@@ -31,6 +38,11 @@ __all__ = [
     "run_smoke_bench",
     "ServingBenchResult",
     "run_serving_bench",
+    "ScalingConfig",
+    "ScalingBenchResult",
+    "CurvePoint",
+    "run_scaling_bench",
+    "snapshot_from_scaling",
     "MetricDelta",
     "snapshot_from_results",
     "snapshot_from_trace",

@@ -1,0 +1,378 @@
+"""The paper's scaling story as a slow bench tier (`repro bench scaling`).
+
+Three measurements, persisted together as ``BENCH_scaling.json``:
+
+1. **Time-vs-n curves** — each method runs the size grid in ascending
+   order under a wall-clock budget.  A cell that exceeds the budget is the
+   paper's "—": it is recorded as timed out, and every larger size for
+   that method is skipped outright (so one quadratic method cannot stall
+   the bench).  A predictive skip kicks in even earlier when
+   extrapolating the method's own measured growth already overshoots the
+   budget by a wide margin; skipped cells are marked ``measured=False``.
+2. **SSE savings** — the headline claim: at the largest measured size,
+   train the same GAN imputer on the *full* table (DIM) and via SCIS
+   (train on the SSE-estimated ``n*`` only), and record both wall-clocks
+   and both RMSEs.  The RMSE gap shows the savings come at matched
+   accuracy; ``sse.seconds_ratio`` (SCIS time over full-data time) is the
+   machine-portable savings number.
+3. **Sharded tier** — generate a shard store, run the out-of-core
+   :func:`~repro.core.sharded.fit_impute_sharded` driver over it, and
+   record its wall-clock plus ``shard.peak_resident_rows`` — the O(shard +
+   reservoir) memory contract, which gates like any other non-time metric.
+
+The snapshot reuses the ``BENCH_<name>.json`` baseline schema, so
+``repro obs diff`` gates it: ``rmse.*``, ``timeout.*``,
+``shard.peak_resident_rows`` etc. are machine-independent and hard-gate;
+anything named ``seconds`` gets the loose time threshold (CI mutes it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import SCIS, ScisConfig
+from ..core.dim import DimConfig, DimImputer
+from ..core.sharded import fit_impute_sharded
+from ..data.shards import generate_sharded
+from ..models import GAINImputer, KNNImputer, MeanImputer
+from ..obs import get_recorder
+from ..parallel import ExecutionContext
+from .baselines import BASELINE_KIND, BASELINE_VERSION
+from .runner import prepare_case, run_method
+
+__all__ = [
+    "ScalingConfig",
+    "CurvePoint",
+    "ScalingBenchResult",
+    "run_scaling_bench",
+    "snapshot_from_scaling",
+]
+
+# Predictive skip: when extrapolating a method's own measured growth says
+# the next cell would overshoot the budget by this factor, don't run it.
+_SKIP_FACTOR = 8.0
+_GROWTH_EXPONENT = 2.0  # worst case among our methods (KNN's row loop)
+
+
+@dataclass
+class ScalingConfig:
+    """Knobs for the scaling tier; defaults give a ~1 minute local run."""
+
+    dataset: str = "trial"
+    sizes: Tuple[int, ...] = (500, 2000, 8000)
+    time_budget: float = 5.0  # per-cell wall-clock cutoff (the "—" line)
+    epochs: int = 2
+    seed: int = 0
+    sse_size: Optional[int] = None  # size for the n*-vs-full run; None = max(sizes)
+    sharded_rows: int = 20_000  # rows in the sharded-driver measurement
+    shard_rows: int = 4096  # rows per shard in that store
+    scis_initial: int = 200
+    # SSE error tolerance for the n*-vs-full comparison.  The paper's
+    # default (0.001) is so strict that n* ≈ n at bench scale; 0.005 keeps
+    # the RMSE gap small while letting n* actually shrink the sample.
+    error_bound: float = 0.005
+    # Restrict the curve sweep to a subset of method names (tests / reduced
+    # CI grids); None runs everything.
+    method_names: Optional[Tuple[str, ...]] = None
+
+    def methods(self) -> Dict[str, Callable[[int], object]]:
+        """The curve methods: a cheap floor, a quadratic classic, the GAN."""
+        dim_config = DimConfig(
+            epochs=self.epochs,
+            batch_size=64,
+            sinkhorn_max_iter=50,
+            use_adversarial=False,
+        )
+        all_methods: Dict[str, Callable[[int], object]] = {
+            "mean": lambda s: MeanImputer(),
+            "knn": lambda s: KNNImputer(),
+            "dim-gain": lambda s: DimImputer(
+                GAINImputer(epochs=self.epochs, seed=s), config=dim_config, seed=s
+            ),
+        }
+        if self.method_names is None:
+            return all_methods
+        unknown = set(self.method_names) - set(all_methods)
+        if unknown:
+            raise ValueError(
+                f"unknown scaling methods {sorted(unknown)}; "
+                f"options: {sorted(all_methods)}"
+            )
+        return {name: all_methods[name] for name in self.method_names}
+
+
+@dataclass
+class CurvePoint:
+    """One (method, n) cell of the time-vs-n grid."""
+
+    n: int
+    seconds: Optional[float]
+    rmse: Optional[float]
+    timed_out: bool
+    measured: bool  # False when skipped by extrapolation, not run at all
+
+    def to_json(self) -> dict:
+        return {
+            "n": self.n,
+            "seconds": self.seconds,
+            "rmse": self.rmse,
+            "timed_out": self.timed_out,
+            "measured": self.measured,
+        }
+
+
+@dataclass
+class ScalingBenchResult:
+    """Everything one scaling run produced."""
+
+    curves: Dict[str, List[CurvePoint]]
+    sse: Dict[str, float]
+    sharded: Dict[str, float]
+    config: ScalingConfig = field(default_factory=ScalingConfig)
+
+    def format(self) -> str:
+        """Plain-text report: the time-vs-n table with "—" cells."""
+        sizes = list(self.config.sizes)
+        header = ["method"] + [f"n={n}" for n in sizes]
+        rows = [header]
+        for method, points in self.curves.items():
+            by_n = {p.n: p for p in points}
+            cells = [method]
+            for n in sizes:
+                point = by_n.get(n)
+                if point is None or point.timed_out:
+                    cells.append("—")
+                else:
+                    cells.append(f"{point.seconds:.2f}s")
+            rows.append(cells)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows
+        ]
+        lines.append(
+            f"sse: n*={self.sse['n_star']:.0f} "
+            f"({100 * self.sse['sample_rate']:.1f}% of n={self.sse['n']:.0f}), "
+            f"scis {self.sse['seconds_scis']:.2f}s vs full "
+            f"{self.sse['seconds_full']:.2f}s, rmse gap "
+            f"{self.sse['rmse_gap']:+.4f}"
+        )
+        lines.append(
+            f"sharded: {self.sharded['rows']:.0f} rows in "
+            f"{self.sharded['seconds_total']:.2f}s, peak resident "
+            f"{self.sharded['peak_resident_rows']:.0f} rows "
+            f"({self.sharded['n_shards']:.0f} shards)"
+        )
+        return "\n".join(lines)
+
+
+def _run_curves(config: ScalingConfig) -> Dict[str, List[CurvePoint]]:
+    """Ascending-n sweep per method with timeout + extrapolation skips."""
+    recorder = get_recorder()
+    curves: Dict[str, List[CurvePoint]] = {}
+    cases = {
+        n: prepare_case(config.dataset, n_samples=n, seed=config.seed)
+        for n in config.sizes
+    }
+    for method_name, factory in config.methods().items():
+        points: List[CurvePoint] = []
+        dead = False  # once over budget, every larger n is a "—"
+        last: Optional[CurvePoint] = None
+        for n in sorted(config.sizes):
+            predicted = None
+            if not dead and last is not None and last.seconds is not None:
+                predicted = last.seconds * (n / last.n) ** _GROWTH_EXPONENT
+            if dead or (
+                predicted is not None
+                and predicted > _SKIP_FACTOR * config.time_budget
+            ):
+                points.append(
+                    CurvePoint(n=n, seconds=None, rmse=None, timed_out=True, measured=False)
+                )
+                if recorder.enabled:
+                    recorder.inc("bench.scaling.skipped")
+                continue
+            result = run_method(
+                factory,
+                cases[n],
+                n_seeds=1,
+                time_budget=config.time_budget,
+                method_name=method_name,
+            )
+            point = CurvePoint(
+                n=n,
+                seconds=float(result.seconds),
+                rmse=None if result.timed_out else float(result.rmse_mean),
+                timed_out=result.timed_out,
+                measured=True,
+            )
+            points.append(point)
+            last = point
+            dead = dead or result.timed_out
+        curves[method_name] = points
+        if recorder.enabled:
+            recorder.emit(
+                "bench.scaling.curve",
+                method=method_name,
+                cells=len(points),
+                timeouts=sum(p.timed_out for p in points),
+            )
+    return curves
+
+
+def _run_sse_savings(config: ScalingConfig) -> Dict[str, float]:
+    """Train-on-n* vs train-on-everything, same model family, same holdout."""
+    n = config.sse_size if config.sse_size is not None else max(config.sizes)
+    case = prepare_case(config.dataset, n_samples=n, seed=config.seed)
+    dim_config = DimConfig(
+        epochs=config.epochs, batch_size=64, sinkhorn_max_iter=50, use_adversarial=False
+    )
+
+    start = time.perf_counter()
+    full = DimImputer(
+        GAINImputer(epochs=config.epochs, seed=config.seed),
+        config=dim_config,
+        seed=config.seed,
+    )
+    imputed_full = full.fit_transform(case.train)
+    seconds_full = time.perf_counter() - start
+    rmse_full = case.holdout.rmse(imputed_full)
+
+    scis_config = ScisConfig(
+        initial_size=min(config.scis_initial, n // 4),
+        error_bound=config.error_bound,
+        dim=dim_config,
+        seed=config.seed,
+    )
+    start = time.perf_counter()
+    scis = SCIS(GAINImputer(epochs=config.epochs, seed=config.seed), scis_config)
+    result = scis.fit_transform(case.train)
+    seconds_scis = time.perf_counter() - start
+    rmse_scis = case.holdout.rmse(result.imputed)
+
+    return {
+        "n": float(n),
+        "n_star": float(result.n_star),
+        "sample_rate": float(result.sample_rate),
+        "seconds_full": seconds_full,
+        "seconds_scis": seconds_scis,
+        # Machine-portable savings: < 1 means SCIS beat full-data training.
+        "seconds_ratio": seconds_scis / max(seconds_full, 1e-12),
+        "rmse_full": rmse_full,
+        "rmse_scis": rmse_scis,
+        "rmse_gap": rmse_scis - rmse_full,
+    }
+
+
+def _run_sharded_tier(
+    config: ScalingConfig, context: Optional[ExecutionContext], workdir: str
+) -> Dict[str, float]:
+    """Out-of-core driver measurement on a generated shard store."""
+    from pathlib import Path
+
+    store_path = Path(workdir) / "store"
+    out_path = Path(workdir) / "imputed"
+    start = time.perf_counter()
+    store = generate_sharded(
+        config.dataset,
+        store_path,
+        n_samples=config.sharded_rows,
+        seed=config.seed,
+        shard_rows=config.shard_rows,
+    )
+    seconds_generate = time.perf_counter() - start
+    scis_config = ScisConfig(
+        initial_size=config.scis_initial,
+        error_bound=config.error_bound,
+        dim=DimConfig(
+            epochs=config.epochs,
+            batch_size=64,
+            sinkhorn_max_iter=50,
+            use_adversarial=False,
+        ),
+        seed=config.seed,
+    )
+    report = fit_impute_sharded(
+        store,
+        out_path,
+        GAINImputer(epochs=config.epochs, seed=config.seed),
+        scis_config,
+        seed=config.seed,
+        context=context,
+    )
+    return {
+        "rows": float(report.rows),
+        "n_shards": float(report.n_shards),
+        "n_star": float(report.n_star),
+        "reservoir_rows": float(report.reservoir_rows),
+        "peak_resident_rows": float(report.peak_resident_rows),
+        "seconds_generate": seconds_generate,
+        "seconds_train": report.training_seconds,
+        "seconds_impute": report.impute_seconds,
+        "seconds_total": report.total_seconds,
+    }
+
+
+def run_scaling_bench(
+    config: Optional[ScalingConfig] = None,
+    context: Optional[ExecutionContext] = None,
+    workdir: Optional[str] = None,
+) -> ScalingBenchResult:
+    """Run all three scaling measurements; see the module docstring.
+
+    ``workdir`` holds the sharded tier's store (a temporary directory when
+    omitted); ``context`` fans the shard imputation out (``REPRO_WORKERS``).
+    """
+    import tempfile
+
+    config = config if config is not None else ScalingConfig()
+    if not config.sizes:
+        raise ValueError("ScalingConfig.sizes must not be empty")
+    curves = _run_curves(config)
+    sse = _run_sse_savings(config)
+    if workdir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            sharded = _run_sharded_tier(config, context, tmp)
+    else:
+        sharded = _run_sharded_tier(config, context, workdir)
+    return ScalingBenchResult(curves=curves, sse=sse, sharded=sharded, config=config)
+
+
+def snapshot_from_scaling(
+    result: ScalingBenchResult, name: str = "scaling"
+) -> Dict[str, object]:
+    """Distill a scaling run into the ``BENCH_<name>.json`` baseline schema.
+
+    ``seconds.*`` keys get the loose time threshold automatically; the
+    ``timeout.*`` indicator cells, ``rmse.*``, and
+    ``shard.peak_resident_rows`` are machine-independent and hard-gate.
+    The full per-cell grid rides along under ``curves`` for human readers
+    (the diff only looks at ``metrics``).
+    """
+    metrics: Dict[str, float] = {}
+    for method, points in result.curves.items():
+        for point in points:
+            cell = f"{method}.n{point.n}"
+            metrics[f"timeout.{cell}"] = 1.0 if point.timed_out else 0.0
+            if point.seconds is not None:
+                metrics[f"seconds.{cell}"] = point.seconds
+            if point.rmse is not None:
+                metrics[f"rmse.{cell}"] = point.rmse
+    for key, value in result.sse.items():
+        metrics[f"sse.{key}"] = float(value)
+    for key, value in result.sharded.items():
+        metrics[f"shard.{key}"] = float(value)
+    return {
+        "version": BASELINE_VERSION,
+        "kind": BASELINE_KIND,
+        "name": name,
+        "metrics": metrics,
+        "curves": {
+            method: [point.to_json() for point in points]
+            for method, points in result.curves.items()
+        },
+    }

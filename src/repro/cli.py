@@ -25,9 +25,11 @@ Four subcommands cover the everyday workflows:
     or nested flame JSON.
 
 ``repro bench``
-    Run the fixed smoke bench (``smoke``) or the serving bench
-    (``serving``) and write a ``BENCH_<name>.json`` baseline for later
-    ``repro obs diff`` gating.
+    Run the fixed smoke bench (``smoke``), the serving bench
+    (``serving``), or the slow scaling tier (``scaling``: time-vs-n
+    curves with timeout "—" cells, the SSE n*-vs-full savings run, and
+    the out-of-core sharded driver) and write a ``BENCH_<name>.json``
+    baseline for later ``repro obs diff`` gating.
 
 ``repro serve``
     Imputation-as-a-service (contract: ``docs/serving.md``): ``fit``
@@ -126,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
     datagen.add_argument("output")
     datagen.add_argument("--samples", type=int, default=None)
     datagen.add_argument("--seed", type=int, default=0)
+    datagen.add_argument(
+        "--shards",
+        action="store_true",
+        help="write OUTPUT as a sharded store directory (out-of-core "
+        "generation: O(--shard-rows) memory at any --samples, e.g. the "
+        "paper-scale full sizes) instead of a CSV",
+    )
+    datagen.add_argument(
+        "--shard-rows",
+        type=int,
+        default=100_000,
+        help="rows per shard for --shards (default: 100000)",
+    )
 
     evaluate = sub.add_parser("evaluate", help="holdout-evaluate a method on a CSV")
     evaluate.add_argument("input")
@@ -214,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser("bench", help="run a bench and snapshot a baseline")
-    bench.add_argument("action", choices=["smoke", "serving"])
+    bench.add_argument("action", choices=["smoke", "serving", "scaling"])
     bench.add_argument(
         "--out",
         default=None,
@@ -233,8 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for the (method x dataset) grid; "
-        "default: REPRO_WORKERS env var, else serial",
+        help="worker processes for the (method x dataset) grid / the "
+        "shard-impute fan-out; default: REPRO_WORKERS env var, else serial",
+    )
+    bench.add_argument(
+        "--sizes",
+        default=None,
+        help="scaling only: comma-separated n grid (default: 500,2000,8000)",
+    )
+    bench.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="scaling only: per-cell wall-clock cutoff in seconds "
+        "(default: 5.0); over-budget cells become the paper's — cells",
+    )
+    bench.add_argument(
+        "--dataset",
+        default="trial",
+        help="scaling only: generator to sweep (default: trial)",
+    )
+    bench.add_argument(
+        "--sharded-rows",
+        type=int,
+        default=None,
+        help="scaling only: rows in the out-of-core sharded-driver "
+        "measurement (default: 20000)",
     )
 
     serve = sub.add_parser(
@@ -384,6 +423,23 @@ def _cmd_impute(args) -> int:
 
 
 def _cmd_datagen(args) -> int:
+    if args.shards:
+        from .data import generate_sharded
+
+        store = generate_sharded(
+            args.name,
+            args.output,
+            n_samples=args.samples,
+            seed=args.seed,
+            shard_rows=args.shard_rows,
+        )
+        print(
+            f"wrote {store.rows}x{store.n_features} {args.name} store "
+            f"({store.n_shards} shards of <= {args.shard_rows} rows, "
+            f"fingerprint {store.manifest.fingerprint}) -> {args.output}",
+            file=sys.stderr,
+        )
+        return 0
     generated = generate(args.name, n_samples=args.samples, seed=args.seed)
     write_csv(generated.dataset, args.output)
     print(
@@ -511,6 +567,8 @@ def _cmd_bench(args) -> int:
         args.out = f"BENCH_{args.action}.json"
     if args.action == "serving":
         return _bench_serving(args)
+    if args.action == "scaling":
+        return _bench_scaling(args)
     start = time.perf_counter()
     with recording() as rec:
         results = run_smoke_bench(
@@ -531,6 +589,45 @@ def _cmd_bench(args) -> int:
     print(
         f"smoke bench: {len(results)} runs in {time.perf_counter() - start:.1f}s, "
         f"{len(baseline['metrics'])} metrics -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _bench_scaling(args) -> int:
+    """``repro bench scaling``: the slow tier behind the paper's plots."""
+    from .bench.baselines import write_baseline
+    from .bench.scaling import ScalingConfig, run_scaling_bench, snapshot_from_scaling
+    from .obs import trace_to_dict
+    from .parallel import ExecutionContext
+
+    config = ScalingConfig(dataset=args.dataset, seed=args.seed, epochs=args.epochs)
+    if args.sizes is not None:
+        try:
+            config.sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        except ValueError:
+            print(
+                f"repro bench: --sizes must be comma-separated integers, "
+                f"got {args.sizes!r}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.budget is not None:
+        config.time_budget = args.budget
+    if args.sharded_rows is not None:
+        config.sharded_rows = args.sharded_rows
+    start = time.perf_counter()
+    with recording() as rec:
+        result = run_scaling_bench(
+            config, context=ExecutionContext.from_env(workers=args.workers)
+        )
+    write_baseline(snapshot_from_scaling(result, name=args.action), args.out)
+    if args.trace is not None:
+        write_json_trace(trace_to_dict(rec), args.trace)
+        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+    print(result.format())
+    print(
+        f"scaling bench done in {time.perf_counter() - start:.1f}s -> {args.out}",
         file=sys.stderr,
     )
     return 0

@@ -3,6 +3,11 @@
 from .calibration import CalibrationPoint, calibrate_error_bounds
 from .dim import DIM, DimConfig, DimImputer, DimReport
 from .scis import SCIS, ScisConfig, ScisResult
+from .sharded import (
+    ShardedImputeReport,
+    fit_impute_dense,
+    fit_impute_sharded,
+)
 from .sse import SSE, SseConfig, SseResult, eta, zeta
 
 __all__ = [
@@ -18,6 +23,9 @@ __all__ = [
     "SCIS",
     "ScisConfig",
     "ScisResult",
+    "ShardedImputeReport",
+    "fit_impute_sharded",
+    "fit_impute_dense",
     "CalibrationPoint",
     "calibrate_error_bounds",
 ]

@@ -1,0 +1,275 @@
+"""Shard-wise SCIS: train on a reservoir, impute shard-by-shard.
+
+This is the out-of-core face of Algorithm 1.  The in-memory
+:class:`~repro.core.scis.SCIS` assumes the table fits in RAM; here the
+table lives in a :class:`~repro.data.shards.ShardStore` and the driver
+keeps peak residency at **O(shard_rows + reservoir)** however many rows the
+store holds:
+
+1. **Pass 1** — one :meth:`ShardStore.scan`: the row count and merged
+   normalisation ranges come straight from the manifest (zero shard reads
+   beyond the reservoir), and SCIS trains on the algorithm-R reservoir —
+   the validation split, the initial model, SSE's ``n*``, and the retrain
+   all happen on ≤ ``scan_sample_budget`` rows.
+2. **Pass 2** — each input shard is loaded, imputed with
+   :func:`~repro.data.streaming.impute_chunk_indexed` (noise addressed by
+   absolute row index, observed cells passed through verbatim), and written
+   as an output shard.  Shards are independent, so pass 2 fans out over a
+   :class:`~repro.parallel.ExecutionContext` — ``REPRO_WORKERS=k`` imputes
+   k shards concurrently with bit-identical output to the serial run.
+
+:func:`fit_impute_dense` is the in-memory reference implementation: it
+performs the exact same scan, training, and indexed-noise imputation on an
+:class:`IncompleteDataset`, so a sharded run over the same rows is
+**bit-identical** to it — the property ``tests/test_sharded_core.py`` pins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..data.dataset import IncompleteDataset
+from ..data.shards import (
+    ShardManifest,
+    ShardStore,
+    combine_fingerprint,
+    write_manifest,
+    write_shard_file,
+)
+from ..data.streaming import (
+    ScanResult,
+    _reservoir_push,
+    impute_chunk_indexed,
+    scan_sample_budget,
+    train_scis_from_scan,
+)
+from ..models.base import GenerativeImputer
+from ..obs import get_recorder
+from ..parallel import ExecutionContext
+
+__all__ = ["ShardedImputeReport", "fit_impute_sharded", "fit_impute_dense", "DenseScan"]
+
+
+@dataclass(frozen=True)
+class ShardedImputeReport:
+    """What one sharded fit/impute run did and what it cost.
+
+    ``peak_resident_rows`` is the memory contract: the largest number of
+    data rows ever simultaneously resident in the driver — the reservoir
+    plus one shard (per worker).
+    """
+
+    rows: int
+    n_shards: int
+    n_features: int
+    n_star: int
+    n_initial: int
+    sample_rate: float
+    reservoir_rows: int
+    peak_resident_rows: int
+    training_seconds: float
+    impute_seconds: float
+    total_seconds: float
+    output_path: Path
+    output_fingerprint: str
+    timings: Dict[str, float]
+
+
+class DenseScan:
+    """Scan adapter giving an in-memory matrix the ``ShardStore.scan`` shape.
+
+    Rows are visited in order with the same algorithm-R step, and ranges get
+    the same never-observed→(0, 1) substitution, so feeding the same rows in
+    the same order with the same rng yields a bit-identical
+    :class:`ScanResult` to a shard-store (or CSV) scan — the keystone of the
+    dense-vs-sharded parity guarantee.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.asarray(values, dtype=np.float64)
+
+    def scan(
+        self,
+        sample_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ScanResult:
+        import warnings
+
+        if sample_size is not None and rng is None:
+            raise ValueError("scan(sample_size=...) requires an rng")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN columns
+            minima = np.nanmin(self.values, axis=0)
+            maxima = np.nanmax(self.values, axis=0)
+        minima = np.where(np.isnan(minima), 0.0, minima)
+        maxima = np.where(np.isnan(maxima), 1.0, maxima)
+        sample = None
+        if sample_size is not None:
+            reservoir: List[np.ndarray] = []
+            for seen, row in enumerate(self.values, start=1):
+                _reservoir_push(reservoir, row, seen, sample_size, rng)
+            sample = np.stack(reservoir) if reservoir else None
+        return ScanResult(
+            rows=self.values.shape[0], minima=minima, maxima=maxima, sample=sample
+        )
+
+
+def fit_impute_sharded(
+    store: Union[str, Path, ShardStore],
+    output_path: Union[str, Path],
+    model: GenerativeImputer,
+    scis_config=None,
+    seed: int = 0,
+    context: Optional[ExecutionContext] = None,
+) -> ShardedImputeReport:
+    """Train SCIS on a shard store's reservoir, impute it shard-by-shard.
+
+    The imputed table is written as a new shard store at ``output_path``
+    (same shard boundaries, same feature schema, labels copied through when
+    present).  ``context`` controls the pass-2 fan-out; ``None`` defers to
+    ``REPRO_WORKERS``.  Output is bit-identical across chunk sizes, shard
+    layouts of the same rows, and serial/process contexts.
+    """
+    if not isinstance(store, ShardStore):
+        store = ShardStore(store)
+    if context is None:
+        context = ExecutionContext.from_env()
+    output_path = Path(output_path)
+    output_path.mkdir(parents=True, exist_ok=True)
+
+    start_total = time.perf_counter()
+
+    # Pass 1: manifest stats + reservoir -> trained model.
+    normalizer, scis_result, training_seconds, total_rows = train_scis_from_scan(
+        store, model, scis_config, seed=seed, source=str(store.path)
+    )
+    reservoir_rows = min(
+        total_rows, scan_sample_budget(scis_config) if scis_config else 0
+    )
+    if reservoir_rows == 0:  # default config: recompute the budget it used
+        from .scis import ScisConfig
+
+        reservoir_rows = min(total_rows, scan_sample_budget(ScisConfig()))
+
+    # Pass 2: impute shard-by-shard.  Each task loads exactly one input
+    # shard, imputes it with index-addressed noise, writes one output
+    # shard, and returns only the manifest entry — the closure inherits the
+    # trained model at fork time, and nothing larger than a shard crosses
+    # the result pipe.
+    manifest = store.manifest
+    offsets = store.shard_offsets()
+    noise_seed = seed + 1
+
+    def impute_shard(index: int):
+        def task():
+            values, mask = store.shard(index)
+            restored = impute_chunk_indexed(
+                model, normalizer, values, mask, offsets[index], noise_seed
+            )
+            labels = store.shard_labels(index)
+            info = write_shard_file(output_path, index, restored, labels)
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.inc("shard.imputed")
+                recorder.emit(
+                    "shard.impute",
+                    index=index,
+                    rows=info.rows,
+                    start_row=offsets[index],
+                )
+            return info
+
+        return task
+
+    start_impute = time.perf_counter()
+    infos = context.run(
+        [impute_shard(i) for i in range(store.n_shards)], label="shard.impute"
+    )
+    impute_seconds = time.perf_counter() - start_impute
+
+    out_manifest = ShardManifest(
+        name=manifest.name,
+        n_features=manifest.n_features,
+        feature_names=list(manifest.feature_names),
+        feature_types=list(manifest.feature_types),
+        shard_rows=manifest.shard_rows,
+        rows=total_rows,
+        shards=tuple(infos),
+        fingerprint=combine_fingerprint(infos),
+        has_labels=manifest.has_labels,
+    )
+    write_manifest(output_path, out_manifest)
+
+    total_seconds = time.perf_counter() - start_total
+    max_shard_rows = max(info.rows for info in manifest.shards)
+    peak_resident_rows = max_shard_rows + reservoir_rows
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.set_gauge("shard.peak_resident_rows", float(peak_resident_rows))
+        recorder.emit(
+            "shard.fit_impute",
+            rows=total_rows,
+            n_shards=store.n_shards,
+            n_star=scis_result.n_star,
+            reservoir_rows=reservoir_rows,
+            peak_resident_rows=peak_resident_rows,
+            training_seconds=training_seconds,
+            impute_seconds=impute_seconds,
+            backend=context.backend,
+        )
+
+    timings = dict(scis_result.timings)
+    timings["scan_and_train"] = training_seconds
+    timings["shard_impute"] = impute_seconds
+    return ShardedImputeReport(
+        rows=total_rows,
+        n_shards=store.n_shards,
+        n_features=manifest.n_features,
+        n_star=scis_result.n_star,
+        n_initial=scis_result.n_initial,
+        sample_rate=scis_result.n_star / total_rows,
+        reservoir_rows=reservoir_rows,
+        peak_resident_rows=peak_resident_rows,
+        training_seconds=training_seconds,
+        impute_seconds=impute_seconds,
+        total_seconds=total_seconds,
+        output_path=output_path,
+        output_fingerprint=out_manifest.fingerprint,
+        timings=timings,
+    )
+
+
+def fit_impute_dense(
+    dataset: Union[IncompleteDataset, np.ndarray],
+    model: GenerativeImputer,
+    scis_config=None,
+    seed: int = 0,
+    chunk_size: int = 4096,
+) -> Tuple[np.ndarray, object]:
+    """In-memory reference for :func:`fit_impute_sharded`.
+
+    Runs the identical scan → train → indexed-noise impute sequence on a
+    resident matrix and returns ``(imputed, scis_result)``.  Sharding the
+    same rows (any layout) and running :func:`fit_impute_sharded` with the
+    same model/seed reproduces this output bit-for-bit.
+    """
+    values = (
+        dataset.values if isinstance(dataset, IncompleteDataset) else np.asarray(dataset)
+    )
+    source = dataset.name if isinstance(dataset, IncompleteDataset) else "dense"
+    normalizer, scis_result, _, _ = train_scis_from_scan(
+        DenseScan(values), model, scis_config, seed=seed, source=source
+    )
+    mask = (~np.isnan(values)).astype(np.float64)
+    out = np.empty_like(values)
+    for start in range(0, values.shape[0], chunk_size):
+        stop = min(start + chunk_size, values.shape[0])
+        out[start:stop] = impute_chunk_indexed(
+            model, normalizer, values[start:stop], mask[start:stop], start, seed + 1
+        )
+    return out, scis_result

@@ -8,12 +8,23 @@ from .io import read_csv, write_csv
 from .missingness import HoldoutSplit, ampute, holdout_split
 from .normalize import MinMaxNormalizer, Standardizer
 from .profile import ColumnProfile, MissingnessProfile, profile_missingness
+from .shards import (
+    ShardInfo,
+    ShardManifest,
+    ShardStore,
+    ShardWriter,
+    generate_sharded,
+    write_dataset_sharded,
+)
 from .streaming import (
     CsvRowStream,
     ScanResult,
     StreamingReport,
+    impute_chunk_indexed,
     impute_csv_streaming,
     reservoir_sample,
+    sample_noise_indexed,
+    train_scis_from_scan,
 )
 
 __all__ = [
@@ -28,7 +39,16 @@ __all__ = [
     "ScanResult",
     "reservoir_sample",
     "impute_csv_streaming",
+    "impute_chunk_indexed",
+    "sample_noise_indexed",
+    "train_scis_from_scan",
     "StreamingReport",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardStore",
+    "ShardWriter",
+    "generate_sharded",
+    "write_dataset_sharded",
     "ampute",
     "holdout_split",
     "HoldoutSplit",

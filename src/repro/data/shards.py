@@ -1,0 +1,662 @@
+"""Disk-sharded datasets: the substrate for paper-scale out-of-core runs.
+
+The paper's largest table (Surveil) has 22.5M rows; nothing at that scale
+should ever be resident.  This module materialises a dataset as a directory
+of fixed-size *shards* plus a JSON *manifest*:
+
+```
+store/
+  manifest.json        rows, per-shard row counts + observed ranges,
+                       fingerprint, feature names/types
+  shard-00000.npz      values (rows, d) float64, nan = missing
+  shard-00001.npz      [+ labels (rows,) when the generator emits them]
+  ...
+```
+
+Three properties make the layer composable with SCIS:
+
+1. **Merged statistics without loading.**  Each shard records its observed
+   per-column min/max at write time, so :meth:`ShardStore.merged_ranges`
+   (and the stats half of :meth:`ShardStore.scan`) folds the manifest alone
+   — normalisation across shards costs zero shard reads.
+2. **Scan parity.**  :meth:`ShardStore.scan` runs the same Vitter
+   algorithm-R reservoir over rows in shard order as
+   :meth:`CsvRowStream.scan` runs over CSV rows, consuming the generator
+   identically — the same rows in the same order with the same rng give a
+   bit-identical :class:`~repro.data.streaming.ScanResult`.
+3. **Integrity.**  The manifest carries a fingerprint derived from each
+   shard's CRC-32, and :meth:`ShardStore.validate` re-hashes shards
+   against it.
+
+:func:`generate_sharded` grows the COVID-like generators to ``full_size``
+paper scale block-by-block (one block per shard, each from its own seeded
+stream), with the categorical quantile edges and the label threshold fitted
+on a deterministic pilot block — memory stays O(shard) however large ``n``.
+Telemetry: ``shard.write`` / ``shard.read`` events plus ``shard.writes`` /
+``shard.reads`` counters on the active recorder.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..obs import get_recorder
+from .covid import SPECS, DatasetSpec
+from .dataset import IncompleteDataset
+from .streaming import ScanResult, _reservoir_push
+
+__all__ = [
+    "ShardInfo",
+    "ShardManifest",
+    "ShardWriter",
+    "ShardStore",
+    "write_dataset_sharded",
+    "generate_sharded",
+    "MANIFEST_NAME",
+    "SHARD_STORE_KIND",
+    "SHARD_STORE_VERSION",
+]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_STORE_KIND = "shard-store"
+SHARD_STORE_VERSION = 1
+
+# Pilot rows used by generate_sharded to fit categorical quantile edges and
+# the classification-label threshold before any shard is written.
+_PILOT_ROWS = 4096
+
+
+def _nan_to_none(values: np.ndarray) -> List[Optional[float]]:
+    return [None if np.isnan(v) else float(v) for v in values]
+
+
+def _none_to_nan(values: Sequence[Optional[float]]) -> np.ndarray:
+    return np.array([np.nan if v is None else float(v) for v in values])
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest entry for one shard: enough to plan without reading it."""
+
+    file: str
+    rows: int
+    minima: np.ndarray  # observed per-column min; nan where unobserved here
+    maxima: np.ndarray
+    missing_cells: int
+    crc32: int
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "rows": self.rows,
+            "minima": _nan_to_none(self.minima),
+            "maxima": _nan_to_none(self.maxima),
+            "missing_cells": self.missing_cells,
+            "crc32": self.crc32,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardInfo":
+        return cls(
+            file=data["file"],
+            rows=int(data["rows"]),
+            minima=_none_to_nan(data["minima"]),
+            maxima=_none_to_nan(data["maxima"]),
+            missing_cells=int(data["missing_cells"]),
+            crc32=int(data["crc32"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Everything the store knows without opening a single shard."""
+
+    name: str
+    n_features: int
+    feature_names: List[str]
+    feature_types: List[str]
+    shard_rows: int
+    rows: int
+    shards: Tuple[ShardInfo, ...]
+    fingerprint: str
+    has_labels: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "version": SHARD_STORE_VERSION,
+            "kind": SHARD_STORE_KIND,
+            "name": self.name,
+            "n_features": self.n_features,
+            "feature_names": list(self.feature_names),
+            "feature_types": list(self.feature_types),
+            "shard_rows": self.shard_rows,
+            "rows": self.rows,
+            "shards": [shard.to_json() for shard in self.shards],
+            "fingerprint": self.fingerprint,
+            "has_labels": self.has_labels,
+        }
+
+
+def combine_fingerprint(infos: Sequence[ShardInfo]) -> str:
+    """Order-sensitive store fingerprint from per-shard CRC-32 values.
+
+    Computed from the manifest alone, so the sharded impute driver can
+    assemble a valid manifest from per-worker shard stats without the
+    parent ever touching the data.
+    """
+    blob = b"".join(struct.pack("<Iq", info.crc32, info.rows) for info in infos)
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}"
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard-{index:05d}.npz"
+
+
+def write_shard_file(
+    directory: Union[str, Path],
+    index: int,
+    values: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+) -> ShardInfo:
+    """Write one shard npz and return its manifest entry.
+
+    Module-level (not a writer method) so parallel impute workers can each
+    persist their own output shard and ship back only the tiny
+    :class:`ShardInfo`.
+    """
+    directory = Path(directory)
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"shard values must be 2-D, got shape {values.shape}")
+    filename = _shard_filename(index)
+    arrays = {"values": values}
+    if labels is not None:
+        arrays["labels"] = np.asarray(labels, dtype=np.float64)
+    with (directory / filename).open("wb") as handle:
+        np.savez(handle, **arrays)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN columns
+        minima = np.nanmin(values, axis=0)
+        maxima = np.nanmax(values, axis=0)
+    info = ShardInfo(
+        file=filename,
+        rows=values.shape[0],
+        minima=minima,
+        maxima=maxima,
+        missing_cells=int(np.isnan(values).sum()),
+        crc32=zlib.crc32(values.tobytes()) & 0xFFFFFFFF,
+    )
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.inc("shard.writes")
+        recorder.emit(
+            "shard.write",
+            file=filename,
+            index=index,
+            rows=info.rows,
+            missing_cells=info.missing_cells,
+        )
+    return info
+
+
+def write_manifest(
+    directory: Union[str, Path], manifest: ShardManifest
+) -> Path:
+    """Persist the manifest atomically (tmp + rename)."""
+    directory = Path(directory)
+    target = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest.to_json(), indent=2) + "\n")
+    tmp.rename(target)
+    return target
+
+
+class ShardWriter:
+    """Append rows, flush fixed-size shards, finish with a manifest.
+
+    Usable as a context manager; :meth:`close` writes the manifest and
+    returns the finished :class:`ShardManifest`.  Peak memory is one shard
+    of rows regardless of the total appended.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        shard_rows: int = 100_000,
+        name: str = "shards",
+        feature_names: Optional[List[str]] = None,
+        feature_types: Optional[List[str]] = None,
+    ) -> None:
+        if shard_rows < 1:
+            raise ValueError(f"shard_rows must be >= 1, got {shard_rows}")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.shard_rows = shard_rows
+        self.name = name
+        self.feature_names = feature_names
+        self.feature_types = feature_types
+        self._buffer: List[np.ndarray] = []
+        self._label_buffer: List[np.ndarray] = []
+        self._buffered_rows = 0
+        self._infos: List[ShardInfo] = []
+        self._n_features: Optional[int] = None
+        self._has_labels: Optional[bool] = None
+        self._closed = False
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    def append(
+        self, values: np.ndarray, labels: Optional[np.ndarray] = None
+    ) -> None:
+        """Buffer a block of rows; full shards are flushed as they fill."""
+        if self._closed:
+            raise RuntimeError("ShardWriter is closed")
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"appended values must be 2-D, got {values.shape}")
+        if self._n_features is None:
+            self._n_features = values.shape[1]
+            self._has_labels = labels is not None
+        elif values.shape[1] != self._n_features:
+            raise ValueError(
+                f"appended block has {values.shape[1]} columns, "
+                f"expected {self._n_features}"
+            )
+        if (labels is not None) != self._has_labels:
+            raise ValueError("labels must be passed on every append or never")
+        if labels is not None and len(labels) != values.shape[0]:
+            raise ValueError("labels length does not match appended rows")
+        self._buffer.append(values)
+        if labels is not None:
+            self._label_buffer.append(np.asarray(labels, dtype=np.float64))
+        self._buffered_rows += values.shape[0]
+        while self._buffered_rows >= self.shard_rows:
+            self._flush(self.shard_rows)
+
+    def _flush(self, rows: int) -> None:
+        if rows == 0:
+            return
+        block = np.concatenate(self._buffer, axis=0)
+        labels = (
+            np.concatenate(self._label_buffer) if self._has_labels else None
+        )
+        shard_values, rest = block[:rows], block[rows:]
+        shard_labels = labels[:rows] if labels is not None else None
+        self._buffer = [rest] if rest.size else []
+        self._label_buffer = (
+            [labels[rows:]] if labels is not None and labels[rows:].size else []
+        )
+        self._buffered_rows = rest.shape[0] if rest.size else 0
+        self._infos.append(
+            write_shard_file(self.path, len(self._infos), shard_values, shard_labels)
+        )
+
+    def close(self) -> ShardManifest:
+        """Flush the remainder and write the manifest."""
+        if self._closed:
+            raise RuntimeError("ShardWriter is already closed")
+        if self._buffered_rows:
+            self._flush(self._buffered_rows)
+        if not self._infos:
+            raise ValueError(f"no rows appended to shard store {self.path}")
+        self._closed = True
+        d = self._n_features
+        names = self.feature_names or [f"f{j}" for j in range(d)]
+        types = self.feature_types or ["continuous"] * d
+        manifest = ShardManifest(
+            name=self.name,
+            n_features=d,
+            feature_names=list(names),
+            feature_types=list(types),
+            shard_rows=self.shard_rows,
+            rows=sum(info.rows for info in self._infos),
+            shards=tuple(self._infos),
+            fingerprint=combine_fingerprint(self._infos),
+            has_labels=bool(self._has_labels),
+        )
+        write_manifest(self.path, manifest)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.emit(
+                "shard.manifest",
+                path=str(self.path),
+                rows=manifest.rows,
+                n_shards=len(manifest.shards),
+                fingerprint=manifest.fingerprint,
+            )
+        return manifest
+
+
+class ShardStore:
+    """Reader over a shard directory; never holds more than one shard."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValueError(f"{self.path} has no {MANIFEST_NAME}; not a shard store")
+        data = json.loads(manifest_path.read_text())
+        if data.get("kind") != SHARD_STORE_KIND:
+            raise ValueError(
+                f"{manifest_path} is not a shard-store manifest "
+                f"(kind={data.get('kind')!r})"
+            )
+        if data.get("version") != SHARD_STORE_VERSION:
+            raise ValueError(
+                f"{manifest_path} has unsupported version {data.get('version')!r} "
+                f"(this build reads version {SHARD_STORE_VERSION})"
+            )
+        self.manifest = ShardManifest(
+            name=data["name"],
+            n_features=int(data["n_features"]),
+            feature_names=list(data["feature_names"]),
+            feature_types=list(data["feature_types"]),
+            shard_rows=int(data["shard_rows"]),
+            rows=int(data["rows"]),
+            shards=tuple(ShardInfo.from_json(s) for s in data["shards"]),
+            fingerprint=data["fingerprint"],
+            has_labels=bool(data.get("has_labels", False)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.manifest.rows
+
+    @property
+    def n_features(self) -> int:
+        return self.manifest.n_features
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.manifest.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ShardStore(path={str(self.path)!r}, rows={self.rows}, "
+            f"n_shards={self.n_shards}, n_features={self.n_features})"
+        )
+
+    def shard_offsets(self) -> List[int]:
+        """Absolute starting row of each shard (for index-addressed noise)."""
+        offsets, total = [], 0
+        for info in self.manifest.shards:
+            offsets.append(total)
+            total += info.rows
+        return offsets
+
+    def shard_values(self, index: int) -> np.ndarray:
+        """Load one shard's values (nan = missing)."""
+        info = self.manifest.shards[index]
+        with np.load(self.path / info.file) as archive:
+            values = archive["values"]
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.inc("shard.reads")
+            recorder.emit("shard.read", file=info.file, index=index, rows=info.rows)
+        return values
+
+    def shard(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard as ``(values, mask)`` — the streaming chunk convention."""
+        values = self.shard_values(index)
+        return values, (~np.isnan(values)).astype(np.float64)
+
+    def shard_labels(self, index: int) -> Optional[np.ndarray]:
+        if not self.manifest.has_labels:
+            return None
+        with np.load(self.path / self.manifest.shards[index].file) as archive:
+            return archive["labels"]
+
+    def iter_shards(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(start_row, values, mask)`` shard by shard."""
+        start = 0
+        for index in range(self.n_shards):
+            values, mask = self.shard(index)
+            yield start, values, mask
+            start += values.shape[0]
+
+    # ------------------------------------------------------------------
+    def merged_ranges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Observed (min, max) merged across shards — manifest only.
+
+        Applies the same substitution as a streaming scan: never-observed
+        columns get the (0, 1) range, so downstream normalisation matches
+        :meth:`CsvRowStream.scan` and :meth:`MinMaxNormalizer.fit` exactly.
+        """
+        minima: Optional[np.ndarray] = None
+        maxima: Optional[np.ndarray] = None
+        for info in self.manifest.shards:
+            if minima is None:
+                minima, maxima = info.minima.copy(), info.maxima.copy()
+            else:
+                minima = np.fmin(minima, info.minima)
+                maxima = np.fmax(maxima, info.maxima)
+        minima = np.where(np.isnan(minima), 0.0, minima)
+        maxima = np.where(np.isnan(maxima), 1.0, maxima)
+        return minima, maxima
+
+    def scan(
+        self,
+        sample_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ScanResult:
+        """The shard-store equivalent of :meth:`CsvRowStream.scan`.
+
+        Row count and ranges come from the manifest (zero reads); only a
+        requested reservoir touches the shards, one at a time.  The
+        reservoir is the identical algorithm-R row loop as the CSV scan, so
+        the same rows in the same order with the same generator state
+        produce the same sample.
+        """
+        if sample_size is not None:
+            if sample_size < 1:
+                raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+            if rng is None:
+                raise ValueError("scan(sample_size=...) requires an rng")
+        minima, maxima = self.merged_ranges()
+        sample = None
+        if sample_size is not None:
+            reservoir: List[np.ndarray] = []
+            seen = 0
+            for _, values, _ in self.iter_shards():
+                for row in values:
+                    seen += 1
+                    _reservoir_push(reservoir, row, seen, sample_size, rng)
+            sample = np.stack(reservoir) if reservoir else None
+        return ScanResult(rows=self.rows, minima=minima, maxima=maxima, sample=sample)
+
+    def validate(self) -> None:
+        """Re-hash every shard against the manifest; raise on any mismatch."""
+        for index, info in enumerate(self.manifest.shards):
+            values = self.shard_values(index)
+            crc = zlib.crc32(values.tobytes()) & 0xFFFFFFFF
+            if crc != info.crc32 or values.shape[0] != info.rows:
+                raise ValueError(
+                    f"{self.path / info.file}: shard does not match manifest "
+                    f"(crc {crc:08x} vs {info.crc32:08x}, rows "
+                    f"{values.shape[0]} vs {info.rows})"
+                )
+        fingerprint = combine_fingerprint(self.manifest.shards)
+        if fingerprint != self.manifest.fingerprint:
+            raise ValueError(
+                f"{self.path}: manifest fingerprint {self.manifest.fingerprint} "
+                f"does not match shards ({fingerprint})"
+            )
+
+    def to_dataset(self) -> IncompleteDataset:
+        """Materialise the whole store (small stores / tests only)."""
+        values = np.concatenate(
+            [self.shard_values(i) for i in range(self.n_shards)], axis=0
+        )
+        return IncompleteDataset(
+            values,
+            feature_names=list(self.manifest.feature_names),
+            feature_types=list(self.manifest.feature_types),
+            name=self.manifest.name,
+        )
+
+    def labels(self) -> Optional[np.ndarray]:
+        """All labels concatenated (None when the store has none)."""
+        if not self.manifest.has_labels:
+            return None
+        return np.concatenate(
+            [self.shard_labels(i) for i in range(self.n_shards)]
+        )
+
+
+def write_dataset_sharded(
+    dataset: IncompleteDataset,
+    path: Union[str, Path],
+    shard_rows: int = 100_000,
+    labels: Optional[np.ndarray] = None,
+) -> ShardStore:
+    """Shard an in-memory dataset to disk (row order preserved)."""
+    with ShardWriter(
+        path,
+        shard_rows=shard_rows,
+        name=dataset.name,
+        feature_names=list(dataset.feature_names),
+        feature_types=list(dataset.feature_types),
+    ) as writer:
+        for start in range(0, dataset.n_samples, shard_rows):
+            block = dataset.values[start : start + shard_rows]
+            writer.append(
+                block,
+                labels[start : start + shard_rows] if labels is not None else None,
+            )
+    return ShardStore(path)
+
+
+# ----------------------------------------------------------------------
+# Out-of-core COVID-like generation
+# ----------------------------------------------------------------------
+def _mix_columns(linear: np.ndarray) -> np.ndarray:
+    """The covid generators' per-column nonlinearity (kind = j mod 3)."""
+    columns = []
+    for j in range(linear.shape[1]):
+        base = linear[:, j]
+        kind = j % 3
+        if kind == 0:
+            col = base
+        elif kind == 1:
+            col = np.tanh(1.5 * base)
+        else:
+            col = base + 0.3 * base**2
+        columns.append(col)
+    return np.stack(columns, axis=1)
+
+
+def _categorical_plan(
+    spec: DatasetSpec, pilot: np.ndarray, rng: np.random.Generator
+) -> Tuple[List[str], List[Optional[np.ndarray]]]:
+    """Level counts + quantile edges for the trailing categorical block.
+
+    Edges are fitted on the pilot block, so every shard discretises against
+    the same thresholds — the out-of-core analogue of the in-memory
+    generator's full-column quantiles.
+    """
+    d = spec.n_features
+    n_categorical = int(round(spec.categorical_fraction * d))
+    types: List[str] = ["continuous"] * d
+    edges: List[Optional[np.ndarray]] = [None] * d
+    for j in range(d - n_categorical, d):
+        n_levels = int(rng.integers(2, 6))
+        edges[j] = np.quantile(pilot[:, j], np.linspace(0, 1, n_levels + 1)[1:-1])
+        types[j] = "binary" if n_levels == 2 else "categorical"
+    return types, edges
+
+
+def _generate_block(
+    spec: DatasetSpec,
+    n_rows: int,
+    loadings: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    latent = rng.normal(size=(n_rows, spec.n_latent))
+    full = _mix_columns(latent @ loadings)
+    full += spec.noise * rng.normal(size=full.shape)
+    return full
+
+
+def generate_sharded(
+    name: str,
+    path: Union[str, Path],
+    n_samples: Optional[int] = None,
+    seed: int = 0,
+    missing_rate: Optional[float] = None,
+    shard_rows: int = 100_000,
+) -> ShardStore:
+    """Materialise a COVID-like dataset as a shard store, out of core.
+
+    The same latent-factor family as :func:`repro.data.generate`, grown
+    block-by-block: shared loadings and the categorical/label plan come
+    from a pilot draw, then each shard-sized block is generated, amputed
+    (MCAR), and written from its own seeded stream
+    (``default_rng([seed, 1, block])``).  Peak memory is O(shard_rows)
+    whatever ``n_samples`` is — pass ``SPECS[name].full_size`` for the
+    paper-scale tables.  Deterministic in ``(name, n_samples, seed,
+    missing_rate, shard_rows)``; note the blockwise sampler draws a
+    *different* (equally distributed) table than the in-memory generator.
+    """
+    key = name.lower()
+    if key not in SPECS:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(SPECS)}")
+    spec = SPECS[key]
+    n = n_samples if n_samples is not None else spec.default_size
+    if n < 2:
+        raise ValueError(f"n_samples must be >= 2, got {n}")
+    rate = missing_rate if missing_rate is not None else spec.missing_rate
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"missing rate must be in [0, 1), got {rate}")
+
+    # Pilot stream: loadings, categorical plan, label threshold.
+    pilot_rng = np.random.default_rng([seed, 0])
+    loadings = pilot_rng.normal(size=(spec.n_latent, spec.n_features)) / np.sqrt(
+        spec.n_latent
+    )
+    pilot = _generate_block(spec, min(n, _PILOT_ROWS), loadings, pilot_rng)
+    types, edges = _categorical_plan(spec, pilot, pilot_rng)
+    pilot_cat = pilot.copy()
+    for j, edge in enumerate(edges):
+        if edge is not None:
+            pilot_cat[:, j] = np.digitize(pilot[:, j], edge).astype(np.float64)
+    signal_cols = min(4, spec.n_features)
+    label_threshold = float(np.median(pilot_cat[:, :signal_cols].sum(axis=1)))
+
+    with ShardWriter(
+        path,
+        shard_rows=shard_rows,
+        name=spec.name,
+        feature_types=types,
+    ) as writer:
+        for block_index, start in enumerate(range(0, n, shard_rows)):
+            rows = min(shard_rows, n - start)
+            rng = np.random.default_rng([seed, 1, block_index])
+            full = _generate_block(spec, rows, loadings, rng)
+            for j, edge in enumerate(edges):
+                if edge is not None:
+                    full[:, j] = np.digitize(full[:, j], edge).astype(np.float64)
+            signal = full[:, :signal_cols].sum(axis=1)
+            if spec.task == "classification":
+                labels = (
+                    signal + 0.3 * rng.normal(size=rows) > label_threshold
+                ).astype(np.float64)
+            else:
+                labels = signal + 0.3 * rng.normal(size=rows)
+            values = full.copy()
+            values[rng.random(size=values.shape) < rate] = np.nan
+            writer.append(values, labels)
+    return ShardStore(path)

@@ -36,8 +36,86 @@ __all__ = [
     "ScanResult",
     "reservoir_sample",
     "impute_csv_streaming",
+    "sample_noise_indexed",
+    "impute_chunk_indexed",
+    "train_scis_from_scan",
+    "scan_sample_budget",
     "StreamingReport",
+    "NOISE_BLOCK_ROWS",
 ]
+
+# Noise for row i is drawn inside the fixed-size block ``i // NOISE_BLOCK_ROWS``
+# from a generator seeded by (seed, block).  Blocks are an implementation
+# detail of :func:`sample_noise_indexed`: they make per-row noise a pure
+# function of the *absolute* row index, so chunked, sharded, and in-memory
+# imputation all see identical noise regardless of how rows are batched.
+NOISE_BLOCK_ROWS = 1024
+
+
+def sample_noise_indexed(
+    model: GenerativeImputer,
+    start: int,
+    n_rows: int,
+    n_features: int,
+    seed: int,
+) -> np.ndarray:
+    """Generator noise for rows ``start .. start + n_rows``, index-addressed.
+
+    The noise for any row depends only on ``(seed, absolute row index)``:
+    rows are grouped into fixed blocks of :data:`NOISE_BLOCK_ROWS`, each
+    block is drawn in one :meth:`GenerativeImputer.sample_noise` call from a
+    generator seeded by ``(seed, block)``, and the requested slice is cut
+    out.  Imputing the same table with the same seed therefore produces
+    identical output at any ``chunk_size`` and any shard layout.
+    """
+    if start < 0 or n_rows < 0:
+        raise ValueError(f"invalid noise range start={start}, n_rows={n_rows}")
+    out = np.empty((n_rows, n_features))
+    if n_rows == 0:
+        return out
+    stop = start + n_rows
+    first_block = start // NOISE_BLOCK_ROWS
+    last_block = (stop - 1) // NOISE_BLOCK_ROWS
+    for block in range(first_block, last_block + 1):
+        block_start = block * NOISE_BLOCK_ROWS
+        rng = np.random.default_rng([seed, block])
+        block_noise = model.sample_noise((NOISE_BLOCK_ROWS, n_features), rng)
+        lo = max(start, block_start)
+        hi = min(stop, block_start + NOISE_BLOCK_ROWS)
+        out[lo - start : hi - start] = block_noise[lo - block_start : hi - block_start]
+    return out
+
+
+def impute_chunk_indexed(
+    model: GenerativeImputer,
+    normalizer: MinMaxNormalizer,
+    values: np.ndarray,
+    mask: np.ndarray,
+    row_offset: int,
+    noise_seed: int,
+) -> np.ndarray:
+    """Impute one chunk of raw rows; returns values on the original scale.
+
+    Missing cells go through normalise → reconstruct (with index-addressed
+    noise, see :func:`sample_noise_indexed`) → Eq. 1 → inverse-normalise;
+    observed cells are copied through *verbatim*, never touching the
+    float round trip.  Every out-of-core path (streaming CSV, shard-wise,
+    and the dense reference) funnels through this one function, which is
+    what makes their outputs bit-identical.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    normalized = normalizer.transform(values)
+    noise = sample_noise_indexed(
+        model, row_offset, values.shape[0], values.shape[1], noise_seed
+    )
+    with no_grad():
+        recon = model.reconstruct_batch(normalized, mask, noise).data
+    imputed = impute_equation(normalized, mask, recon)
+    restored = normalizer.inverse_transform(imputed)
+    observed = mask == 1.0
+    restored[observed] = values[observed]
+    return restored
 
 
 @dataclass(frozen=True)
@@ -95,9 +173,12 @@ class CsvRowStream:
     def header(self) -> Optional[List[str]]:
         if self._header is None and self.has_header:
             with self.path.open(newline="") as handle:
-                self._header = [
-                    cell.strip() for cell in next(csv.reader(handle, delimiter=self.delimiter))
-                ]
+                first = next(csv.reader(handle, delimiter=self.delimiter), None)
+            if first is None:
+                # A bare StopIteration here would surface as an opaque
+                # RuntimeError/StopIteration at the caller; name the file.
+                raise ValueError(f"{self.path} is empty")
+            self._header = [cell.strip() for cell in first]
         return self._header
 
     def chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
@@ -165,13 +246,14 @@ class CsvRowStream:
                 continue
             for row in values:
                 seen += 1
-                if len(reservoir) < sample_size:
-                    reservoir.append(row.copy())
-                else:
-                    slot = rng.integers(0, seen)
-                    if slot < sample_size:
-                        reservoir[slot] = row.copy()
+                _reservoir_push(reservoir, row, seen, sample_size, rng)
         if minima is None:
+            # Match the header property / read_csv wording: a zero-byte file
+            # "is empty", a header-only file "has a header but no data rows".
+            if self.path.stat().st_size == 0:
+                raise ValueError(f"{self.path} is empty")
+            if self.has_header:
+                raise ValueError(f"{self.path} has a header but no data rows")
             raise ValueError(f"{self.path} has no data rows")
         minima = np.where(np.isnan(minima), 0.0, minima)
         maxima = np.where(np.isnan(maxima), 1.0, maxima)
@@ -189,6 +271,27 @@ class CsvRowStream:
         """Streaming per-column (min, max) over observed cells."""
         result = self.scan()
         return result.minima, result.maxima
+
+
+def _reservoir_push(
+    reservoir: List[np.ndarray],
+    row: np.ndarray,
+    seen: int,
+    size: int,
+    rng: np.random.Generator,
+) -> None:
+    """One Vitter algorithm-R step; shared by the CSV and shard scanners.
+
+    ``seen`` counts ``row`` itself (1-based), so the generator consumption
+    is identical wherever the rows come from — the property the
+    sharded-vs-streaming reservoir parity tests pin.
+    """
+    if len(reservoir) < size:
+        reservoir.append(row.copy())
+    else:
+        slot = rng.integers(0, seen)
+        if slot < size:
+            reservoir[slot] = row.copy()
 
 
 def reservoir_sample(
@@ -213,6 +316,53 @@ class StreamingReport:
     training_seconds: float
 
 
+def scan_sample_budget(scis_config) -> int:
+    """Reservoir budget for one pre-training scan.
+
+    Oversized on purpose — the reservoir is capped at however many rows
+    exist, so a too-large budget costs nothing, while a too-small one would
+    starve SCIS of retraining head-room.
+    """
+    return max(4 * (scis_config.initial_size + scis_config.validation_size), 2048)
+
+
+def train_scis_from_scan(scannable, model, scis_config, seed: int, source: str):
+    """Scan ``scannable`` once and train SCIS on the reservoir.
+
+    ``scannable`` is anything with a ``scan(sample_size=..., rng=...)``
+    returning a :class:`ScanResult` — a :class:`CsvRowStream` or a
+    :class:`~repro.data.shards.ShardStore`.  Returns
+    ``(normalizer, scis_result, training_seconds, total_rows)``; the
+    normalizer is fitted from the scan's merged observed ranges, so no path
+    ever materialises the table to compute statistics.
+    """
+    import time as _time
+
+    from ..core.scis import SCIS, ScisConfig
+
+    if scis_config is None:
+        scis_config = ScisConfig()
+    rng = np.random.default_rng(seed)
+    scan = scannable.scan(sample_size=scan_sample_budget(scis_config), rng=rng)
+    total_rows = scan.rows
+    required = scis_config.initial_size + scis_config.validation_size
+    if total_rows < required:
+        raise ValueError(
+            f"{source} has only {total_rows} data rows but SCIS needs at "
+            f"least initial_size + validation_size = {required} rows for its "
+            f"training split; lower ScisConfig.initial_size/validation_size "
+            f"or provide more data"
+        )
+    normalizer = MinMaxNormalizer()
+    normalizer.minima = scan.minima
+    normalizer.ranges = scan.maxima - scan.minima
+
+    start = _time.perf_counter()
+    sample = IncompleteDataset(normalizer.transform(scan.sample), name="stream-sample")
+    result = SCIS(model, scis_config).fit_transform(sample)
+    return normalizer, result, _time.perf_counter() - start, total_rows
+
+
 def impute_csv_streaming(
     input_path: Union[str, Path, CsvRowStream],
     output_path: Union[str, Path],
@@ -233,57 +383,33 @@ def impute_csv_streaming(
     is then ignored), e.g. to reuse a configured stream or to instrument
     passes in tests.
     """
-    import time as _time
-
-    from ..core.scis import SCIS, ScisConfig
-
-    if scis_config is None:
-        scis_config = ScisConfig()
     if isinstance(input_path, CsvRowStream):
         stream = input_path
     else:
         stream = CsvRowStream(input_path, chunk_size=chunk_size)
-    rng = np.random.default_rng(seed)
 
-    # Pass 1: count + ranges + reservoir, combined.  The reservoir budget is
-    # capped below at however many rows exist, so oversizing it is free.
-    budget_cap = max(
-        4 * (scis_config.initial_size + scis_config.validation_size), 2048
+    # Pass 1: count + ranges + reservoir, combined.
+    normalizer, result, training_seconds, total_rows = train_scis_from_scan(
+        stream, model, scis_config, seed=seed, source=str(stream.path)
     )
-    scan = stream.scan(sample_size=budget_cap, rng=rng)
-    total_rows = scan.rows
-    required = scis_config.initial_size + scis_config.validation_size
-    if total_rows < required:
-        raise ValueError(
-            f"{stream.path} has only {total_rows} data rows but SCIS needs at "
-            f"least initial_size + validation_size = {required} rows for its "
-            f"training split; lower ScisConfig.initial_size/validation_size "
-            f"or provide more data"
-        )
-    normalizer = MinMaxNormalizer()
-    normalizer.minima = scan.minima
-    normalizer.ranges = scan.maxima - scan.minima
 
-    start = _time.perf_counter()
-    sample = IncompleteDataset(normalizer.transform(scan.sample), name="stream-sample")
-    result = SCIS(model, scis_config).fit_transform(sample)
-    training_seconds = _time.perf_counter() - start
-
-    # Pass 2: stream the imputation.
+    # Pass 2: stream the imputation.  Noise is addressed by absolute row
+    # index (same seed => identical output at any chunk_size), and observed
+    # cells bypass the transform→inverse round trip entirely — the serving
+    # layer guarantees bit-exact observed-cell passthrough, and the
+    # streaming path must match it.
     output_path = Path(output_path)
-    noise_rng = np.random.default_rng(seed + 1)
+    row_offset = 0
     with output_path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         header = stream.header
         if header is not None:
             writer.writerow(header)
         for values, mask in stream.chunks():
-            normalized = normalizer.transform(values)
-            noise = model.sample_noise(mask.shape, noise_rng)
-            with no_grad():
-                recon = model.reconstruct_batch(normalized, mask, noise).data
-            imputed = impute_equation(normalized, mask, recon)
-            restored = normalizer.inverse_transform(imputed)
+            restored = impute_chunk_indexed(
+                model, normalizer, values, mask, row_offset, noise_seed=seed + 1
+            )
+            row_offset += values.shape[0]
             for row in restored:
                 writer.writerow([f"{value:.10g}" for value in row])
 

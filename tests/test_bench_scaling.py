@@ -1,0 +1,99 @@
+"""Scaling bench tier: curves, timeout cells, skips, snapshot schema."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ScalingConfig,
+    load_baseline,
+    run_scaling_bench,
+    snapshot_from_scaling,
+    write_baseline,
+)
+from repro.bench.scaling import _run_curves
+
+
+def tiny_config(**overrides):
+    base = dict(
+        dataset="trial",
+        sizes=(150, 1200),
+        time_budget=0.05,  # knn stays under at 150, blows through at 1200
+        epochs=1,
+        seed=0,
+        sharded_rows=1200,
+        shard_rows=256,
+        scis_initial=30,
+        method_names=("mean", "knn"),
+    )
+    base.update(overrides)
+    return ScalingConfig(**base)
+
+
+class TestCurves:
+    def test_timeout_becomes_dash_cell(self):
+        curves = _run_curves(tiny_config())
+        knn = {p.n: p for p in curves["knn"]}
+        assert not knn[150].timed_out and knn[150].measured
+        assert knn[1200].timed_out  # the paper's "—"
+        mean = {p.n: p for p in curves["mean"]}
+        assert not any(p.timed_out for p in mean.values())
+        assert all(np.isfinite(p.rmse) for p in mean.values())
+
+    def test_sizes_after_timeout_are_skipped(self):
+        curves = _run_curves(tiny_config(sizes=(150, 1200, 2400)))
+        knn = {p.n: p for p in curves["knn"]}
+        assert knn[1200].timed_out
+        # 2400 was never run: either dead-skip or extrapolation skip.
+        assert knn[2400].timed_out and not knn[2400].measured
+        assert knn[2400].seconds is None
+
+    def test_unknown_method_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scaling methods"):
+            tiny_config(method_names=("mean", "nope")).methods()
+
+    def test_empty_sizes_raises(self):
+        with pytest.raises(ValueError, match="sizes"):
+            run_scaling_bench(tiny_config(sizes=()))
+
+
+class TestFullRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling_bench(tiny_config())
+
+    def test_sse_comparison_recorded(self, result):
+        sse = result.sse
+        assert sse["n"] == 1200
+        assert 0 < sse["n_star"] <= sse["n"]
+        assert sse["seconds_full"] > 0 and sse["seconds_scis"] > 0
+        assert sse["rmse_gap"] == pytest.approx(
+            sse["rmse_scis"] - sse["rmse_full"]
+        )
+
+    def test_sharded_tier_recorded(self, result):
+        sharded = result.sharded
+        assert sharded["rows"] == 1200
+        # O(shard + reservoir): far below materialising everything twice.
+        assert sharded["peak_resident_rows"] < 2 * sharded["rows"]
+        assert sharded["peak_resident_rows"] >= sharded["reservoir_rows"]
+        assert sharded["seconds_total"] > 0
+
+    def test_snapshot_schema_and_keys(self, result, tmp_path):
+        snapshot = snapshot_from_scaling(result)
+        path = write_baseline(snapshot, tmp_path / "BENCH_scaling.json")
+        loaded = load_baseline(path)  # validates kind/version/metrics
+        metrics = loaded["metrics"]
+        assert metrics["timeout.knn.n1200"] == 1.0
+        assert metrics["timeout.mean.n150"] == 0.0
+        assert "rmse.mean.n150" in metrics
+        assert "seconds.mean.n150" in metrics
+        assert "rmse.knn.n1200" not in metrics  # timed out: no rmse cell
+        assert "sse.seconds_ratio" in metrics
+        assert "shard.peak_resident_rows" in metrics
+        # The human-readable per-cell grid rides along.
+        assert "curves" in loaded or "curves" in snapshot
+
+    def test_format_renders_dash(self, result):
+        text = result.format()
+        assert "—" in text
+        assert "sse:" in text and "sharded:" in text

@@ -1,0 +1,169 @@
+"""Sharded fit/impute driver: dense parity, parallel parity, memory contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import DimConfig, ScisConfig, fit_impute_dense, fit_impute_sharded
+from repro.core.sharded import DenseScan
+from repro.data import ShardStore, generate_sharded, write_dataset_sharded
+from repro.models import GAINImputer
+from repro.parallel import ExecutionContext
+
+
+def make_model():
+    return GAINImputer(hidden=8, epochs=2, seed=0)
+
+
+def make_config():
+    return ScisConfig(
+        initial_size=40,
+        validation_size=40,
+        error_bound=0.05,
+        dim=DimConfig(epochs=2, batch_size=32),
+        seed=0,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return generate_sharded(
+        "trial", tmp_path / "store", n_samples=400, seed=5, shard_rows=96
+    )
+
+
+class TestDenseParity:
+    def test_sharded_bit_identical_to_dense(self, store, tmp_path):
+        # The acceptance bar: same seed, serial context, same rows =>
+        # identical bytes out of both drivers.
+        report = fit_impute_sharded(
+            store,
+            tmp_path / "out",
+            make_model(),
+            make_config(),
+            seed=11,
+            context=ExecutionContext(backend="serial"),
+        )
+        dense_out, dense_result = fit_impute_dense(
+            store.to_dataset(), make_model(), make_config(), seed=11
+        )
+        sharded_out = ShardStore(report.output_path).to_dataset().values
+        assert np.array_equal(sharded_out, dense_out)
+        assert report.n_star == dense_result.n_star
+
+    def test_output_independent_of_shard_layout(self, store, tmp_path):
+        # Re-shard the same rows differently; the imputed table must not move.
+        dataset = store.to_dataset()
+        other = write_dataset_sharded(dataset, tmp_path / "other", shard_rows=57)
+        r1 = fit_impute_sharded(
+            store, tmp_path / "out1", make_model(), make_config(), seed=11
+        )
+        r2 = fit_impute_sharded(
+            other, tmp_path / "out2", make_model(), make_config(), seed=11
+        )
+        a = ShardStore(r1.output_path).to_dataset().values
+        b = ShardStore(r2.output_path).to_dataset().values
+        assert np.array_equal(a, b)
+
+    def test_dense_chunk_size_invariant(self, store):
+        dataset = store.to_dataset()
+        a, _ = fit_impute_dense(dataset, make_model(), make_config(), seed=11, chunk_size=64)
+        b, _ = fit_impute_dense(dataset, make_model(), make_config(), seed=11, chunk_size=4096)
+        assert np.array_equal(a, b)
+
+    def test_observed_cells_pass_through_verbatim(self, store, tmp_path):
+        report = fit_impute_sharded(
+            store, tmp_path / "out", make_model(), make_config(), seed=11
+        )
+        original = store.to_dataset().values
+        imputed = ShardStore(report.output_path).to_dataset().values
+        observed = ~np.isnan(original)
+        assert np.array_equal(imputed[observed], original[observed])
+        assert not np.isnan(imputed).any()
+
+    def test_dense_scan_matches_store_scan(self, store):
+        a = store.scan(sample_size=64, rng=np.random.default_rng(3))
+        b = DenseScan(store.to_dataset().values).scan(
+            sample_size=64, rng=np.random.default_rng(3)
+        )
+        assert a.rows == b.rows
+        assert np.array_equal(a.minima, b.minima)
+        assert np.array_equal(a.maxima, b.maxima)
+        assert np.array_equal(np.nan_to_num(a.sample), np.nan_to_num(b.sample))
+
+
+@pytest.mark.parallel
+class TestParallelParity:
+    def test_serial_and_process_outputs_bit_identical(self, store, tmp_path):
+        serial = fit_impute_sharded(
+            store,
+            tmp_path / "serial",
+            make_model(),
+            make_config(),
+            seed=11,
+            context=ExecutionContext(backend="serial"),
+        )
+        parallel = fit_impute_sharded(
+            store,
+            tmp_path / "parallel",
+            make_model(),
+            make_config(),
+            seed=11,
+            context=ExecutionContext(backend="process", workers=2),
+        )
+        assert serial.output_fingerprint == parallel.output_fingerprint
+        a = ShardStore(serial.output_path).to_dataset().values
+        b = ShardStore(parallel.output_path).to_dataset().values
+        assert np.array_equal(a, b)
+        ShardStore(parallel.output_path).validate()
+
+
+class TestReportAndTelemetry:
+    def test_report_fields(self, store, tmp_path):
+        report = fit_impute_sharded(
+            store, tmp_path / "out", make_model(), make_config(), seed=11
+        )
+        assert report.rows == 400
+        assert report.n_shards == store.n_shards
+        assert report.n_star >= report.n_initial
+        assert 0 < report.sample_rate <= 1.0
+        # Memory contract: one shard + the reservoir, nothing proportional
+        # to the table.
+        max_shard = max(info.rows for info in store.manifest.shards)
+        assert report.peak_resident_rows == max_shard + report.reservoir_rows
+        assert report.reservoir_rows <= report.rows
+        assert report.training_seconds > 0
+        assert report.total_seconds >= report.impute_seconds
+
+    def test_output_store_is_valid_and_labelled(self, store, tmp_path):
+        report = fit_impute_sharded(
+            store, tmp_path / "out", make_model(), make_config(), seed=11
+        )
+        out = ShardStore(report.output_path)
+        out.validate()
+        assert out.manifest.fingerprint == report.output_fingerprint
+        assert np.array_equal(out.labels(), store.labels())
+        assert out.manifest.feature_types == store.manifest.feature_types
+
+    def test_telemetry(self, store, tmp_path):
+        from repro.obs.recorder import recording
+
+        with recording() as rec:
+            fit_impute_sharded(
+                store, tmp_path / "out", make_model(), make_config(), seed=11
+            )
+        trace = rec.to_dict()
+        counters = trace["metrics"]["counters"]
+        assert counters["shard.imputed"] == store.n_shards
+        gauges = trace["metrics"]["gauges"]
+        assert gauges["shard.peak_resident_rows"] > 0
+        names = {event["name"] for event in trace["events"]}
+        assert "shard.fit_impute" in names
+
+    def test_too_few_rows_raises_with_guidance(self, tmp_path):
+        tiny = generate_sharded(
+            "trial", tmp_path / "tiny", n_samples=50, seed=0, shard_rows=32
+        )
+        with pytest.raises(ValueError, match=r"only 50 data rows"):
+            fit_impute_sharded(
+                tiny, tmp_path / "out", make_model(), make_config(), seed=0
+            )

@@ -1,0 +1,252 @@
+"""Shard store: round trips, manifest statistics, scan parity, integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CsvRowStream,
+    IncompleteDataset,
+    MinMaxNormalizer,
+    ShardStore,
+    ShardWriter,
+    generate,
+    generate_sharded,
+    write_csv,
+    write_dataset_sharded,
+)
+from repro.data.shards import MANIFEST_NAME, combine_fingerprint
+
+
+@pytest.fixture
+def small_store(tmp_path):
+    generated = generate("trial", n_samples=300, seed=1)
+    store = write_dataset_sharded(
+        generated.dataset, tmp_path / "store", shard_rows=97, labels=generated.labels
+    )
+    return store, generated
+
+
+class TestRoundTrip:
+    def test_values_and_schema_survive(self, small_store):
+        store, generated = small_store
+        back = store.to_dataset()
+        assert np.array_equal(
+            np.nan_to_num(back.values), np.nan_to_num(generated.dataset.values)
+        )
+        assert back.feature_names == generated.dataset.feature_names
+        assert back.feature_types == generated.dataset.feature_types
+        assert back.name == generated.dataset.name
+
+    def test_labels_survive(self, small_store):
+        store, generated = small_store
+        assert np.array_equal(store.labels(), generated.labels)
+
+    def test_shard_layout(self, small_store):
+        store, generated = small_store
+        assert store.rows == generated.dataset.n_samples
+        assert store.n_shards == 4  # ceil(300 / 97)
+        assert [info.rows for info in store.manifest.shards] == [97, 97, 97, 9]
+        assert store.shard_offsets() == [0, 97, 194, 291]
+
+    def test_mask_matches_nan(self, small_store):
+        store, _ = small_store
+        for _, values, mask in store.iter_shards():
+            assert np.array_equal(mask == 0.0, np.isnan(values))
+
+    def test_writer_incremental_appends(self, tmp_path):
+        # Appending row-by-row and in one block must build identical stores.
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(57, 4))
+        values[rng.random(size=values.shape) < 0.3] = np.nan
+        with ShardWriter(tmp_path / "a", shard_rows=10) as writer:
+            for row in values:
+                writer.append(row[None, :])
+        with ShardWriter(tmp_path / "b", shard_rows=10) as writer:
+            writer.append(values)
+        a, b = ShardStore(tmp_path / "a"), ShardStore(tmp_path / "b")
+        assert a.manifest.fingerprint == b.manifest.fingerprint
+
+    def test_writer_rejects_misshapen_input(self, tmp_path):
+        writer = ShardWriter(tmp_path / "w", shard_rows=10)
+        writer.append(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            writer.append(np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="labels"):
+            writer.append(np.zeros((2, 3)), labels=np.zeros(2))
+
+    def test_empty_writer_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no rows"):
+            ShardWriter(tmp_path / "w", shard_rows=10).close()
+
+    def test_invalid_shard_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardWriter(tmp_path / "w", shard_rows=0)
+
+
+class TestManifestStatistics:
+    def test_merged_ranges_match_normalizer_fit(self, small_store):
+        # The manifest-only merge must equal MinMaxNormalizer.fit on the
+        # materialised data — including its NaN->(0,1) substitution.
+        store, generated = small_store
+        fitted = MinMaxNormalizer().fit(generated.dataset)
+        minima, maxima = store.merged_ranges()
+        assert np.array_equal(minima, fitted.minima)
+        assert np.array_equal(maxima - minima, fitted.ranges)
+
+    def test_constant_and_all_nan_columns(self, tmp_path):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(120, 4))
+        values[:, 1] = 2.5  # constant
+        values[:, 2] = np.nan  # never observed anywhere
+        values[rng.random(size=values.shape) < 0.2] = np.nan
+        dataset = IncompleteDataset(values.copy())
+        store = write_dataset_sharded(dataset, tmp_path / "edge", shard_rows=31)
+        fitted = MinMaxNormalizer().fit(dataset)
+        minima, maxima = store.merged_ranges()
+        assert np.array_equal(minima, fitted.minima)
+        assert np.array_equal(maxima - minima, fitted.ranges)
+        assert minima[2] == 0.0 and maxima[2] == 1.0
+
+    def test_per_shard_missing_cells_sum(self, small_store):
+        store, generated = small_store
+        total = sum(info.missing_cells for info in store.manifest.shards)
+        assert total == int(np.isnan(generated.dataset.values).sum())
+
+
+class TestScanParity:
+    def test_scan_matches_csv_scan_bit_for_bit(self, small_store, tmp_path):
+        # Same rows, same order, same rng => the shard scan and the CSV
+        # scan must consume the generator identically and return the same
+        # reservoir.  (The CSV write truncates to .10g, so compare the
+        # reservoir's row *indices* via nan patterns + close values.)
+        store, generated = small_store
+        path = tmp_path / "same.csv"
+        write_csv(generated.dataset, path)
+        scanned_store = store.scan(sample_size=50, rng=np.random.default_rng(9))
+        scanned_csv = CsvRowStream(path, chunk_size=64).scan(
+            sample_size=50, rng=np.random.default_rng(9)
+        )
+        assert scanned_store.rows == scanned_csv.rows
+        assert np.allclose(
+            np.nan_to_num(scanned_store.sample),
+            np.nan_to_num(scanned_csv.sample),
+            atol=1e-9,
+        )
+        assert np.allclose(scanned_store.minima, scanned_csv.minima, atol=1e-9)
+        assert np.allclose(scanned_store.maxima, scanned_csv.maxima, atol=1e-9)
+
+    def test_scan_reservoir_independent_of_shard_layout(self, small_store, tmp_path):
+        store, generated = small_store
+        other = write_dataset_sharded(
+            generated.dataset, tmp_path / "other", shard_rows=23
+        )
+        a = store.scan(sample_size=40, rng=np.random.default_rng(4))
+        b = other.scan(sample_size=40, rng=np.random.default_rng(4))
+        assert np.array_equal(np.nan_to_num(a.sample), np.nan_to_num(b.sample))
+
+    def test_scan_without_sample_reads_no_shards(self, small_store):
+        from repro.obs.recorder import recording
+
+        store, _ = small_store
+        with recording() as rec:
+            result = ShardStore(store.path).scan()
+        assert result.rows == store.rows
+        counters = rec.to_dict()["metrics"]["counters"]
+        assert counters.get("shard.reads", 0) == 0
+
+    def test_sample_requires_rng(self, small_store):
+        with pytest.raises(ValueError, match="rng"):
+            small_store[0].scan(sample_size=10)
+
+
+class TestIntegrity:
+    def test_validate_accepts_untouched_store(self, small_store):
+        small_store[0].validate()
+
+    def test_validate_rejects_tampered_shard(self, small_store):
+        store, _ = small_store
+        info = store.manifest.shards[1]
+        values = store.shard_values(1)
+        labels = store.shard_labels(1)
+        values[0, 0] = 123456.0
+        with (store.path / info.file).open("wb") as handle:
+            np.savez(handle, values=values, labels=labels)
+        with pytest.raises(ValueError, match="does not match manifest"):
+            ShardStore(store.path).validate()
+
+    def test_fingerprint_is_order_sensitive(self, small_store):
+        infos = list(small_store[0].manifest.shards)
+        assert combine_fingerprint(infos) != combine_fingerprint(infos[::-1])
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "not_a_store").mkdir()
+        with pytest.raises(ValueError, match=MANIFEST_NAME):
+            ShardStore(tmp_path / "not_a_store")
+
+    def test_wrong_kind_raises(self, tmp_path):
+        target = tmp_path / "wrong"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a shard-store manifest"):
+            ShardStore(target)
+
+
+class TestGenerateSharded:
+    def test_deterministic(self, tmp_path):
+        a = generate_sharded("trial", tmp_path / "a", n_samples=400, seed=7, shard_rows=128)
+        b = generate_sharded("trial", tmp_path / "b", n_samples=400, seed=7, shard_rows=128)
+        assert a.manifest.fingerprint == b.manifest.fingerprint
+
+    def test_seed_changes_data(self, tmp_path):
+        a = generate_sharded("trial", tmp_path / "a", n_samples=400, seed=7, shard_rows=128)
+        b = generate_sharded("trial", tmp_path / "b", n_samples=400, seed=8, shard_rows=128)
+        assert a.manifest.fingerprint != b.manifest.fingerprint
+
+    def test_spec_shape_and_missing_rate(self, tmp_path):
+        store = generate_sharded(
+            "trial", tmp_path / "s", n_samples=2000, seed=0, shard_rows=512
+        )
+        assert store.rows == 2000
+        assert store.n_features == 9
+        missing = sum(info.missing_cells for info in store.manifest.shards)
+        rate = missing / (2000 * 9)
+        assert rate == pytest.approx(0.0963, abs=0.02)
+        assert store.manifest.has_labels
+        labels = store.labels()
+        assert set(np.unique(labels)) <= {0.0, 1.0}  # trial is classification
+
+    def test_feature_types_follow_spec(self, tmp_path):
+        store = generate_sharded(
+            "trial", tmp_path / "s", n_samples=300, seed=0, shard_rows=128
+        )
+        types = store.manifest.feature_types
+        # 30% of 9 features -> trailing 3 columns discretised.
+        assert all(t == "continuous" for t in types[:6])
+        assert all(t in ("binary", "categorical") for t in types[6:])
+
+    def test_unknown_name_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            generate_sharded("nope", tmp_path / "s", n_samples=100)
+
+    def test_bad_missing_rate_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="missing rate"):
+            generate_sharded("trial", tmp_path / "s", n_samples=100, missing_rate=1.5)
+
+
+class TestTelemetry:
+    def test_shard_events_and_counters(self, tmp_path):
+        from repro.obs.recorder import recording
+
+        with recording() as rec:
+            store = generate_sharded(
+                "trial", tmp_path / "s", n_samples=200, seed=0, shard_rows=64
+            )
+            store.shard(0)
+        trace = rec.to_dict()
+        counters = trace["metrics"]["counters"]
+        assert counters["shard.writes"] == store.n_shards
+        assert counters["shard.reads"] == 1
+        names = {event["name"] for event in trace["events"]}
+        assert {"shard.write", "shard.read", "shard.manifest"} <= names

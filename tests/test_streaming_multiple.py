@@ -250,6 +250,129 @@ class TestStreamingImputation:
             )
 
 
+class TestStreamingCorrectness:
+    """Regression tests for the streaming-pipeline bug fixes."""
+
+    def _config(self):
+        return ScisConfig(
+            initial_size=60,
+            validation_size=60,
+            error_bound=0.05,
+            dim=DimConfig(epochs=2),
+            seed=0,
+        )
+
+    def _read_cells(self, path):
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        return rows[0], rows[1:]
+
+    def test_observed_cells_byte_for_byte(self, csv_file, tmp_path):
+        # Observed values must be written through verbatim, never through
+        # the MinMaxNormalizer transform->inverse float round trip.
+        path, dataset = csv_file
+        out = tmp_path / "imputed.csv"
+        impute_csv_streaming(
+            path, out, GAINImputer(epochs=2, seed=0), self._config(), chunk_size=128
+        )
+        _, in_rows = self._read_cells(path)
+        _, out_rows = self._read_cells(out)
+        assert len(in_rows) == len(out_rows)
+        observed_cells = 0
+        for in_row, out_row in zip(in_rows, out_rows):
+            for in_cell, out_cell in zip(in_row, out_row):
+                if in_cell != "":  # observed in the input
+                    assert out_cell == in_cell
+                    observed_cells += 1
+                else:  # missing: must now be filled
+                    assert out_cell != ""
+        assert observed_cells > 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096])
+    def test_output_invariant_to_chunk_size(self, csv_file, tmp_path, chunk_size):
+        # Noise is addressed by absolute row index, so the streamed output
+        # is a pure function of (input, model, config, seed) — the chunk
+        # size must not leak into it.
+        path, _ = csv_file
+        reference = tmp_path / "reference.csv"
+        impute_csv_streaming(
+            path, reference, GAINImputer(epochs=2, seed=0), self._config(),
+            chunk_size=128,
+        )
+        out = tmp_path / f"chunk{chunk_size}.csv"
+        impute_csv_streaming(
+            path, out, GAINImputer(epochs=2, seed=0), self._config(),
+            chunk_size=chunk_size,
+        )
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_header_of_empty_file_raises_value_error(self, tmp_path):
+        # A bare StopIteration would escape (or corrupt a surrounding
+        # generator); an empty file must be a ValueError naming the path.
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty.csv"):
+            CsvRowStream(path).header
+
+    def test_scan_of_zero_byte_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            CsvRowStream(path).scan()
+
+    def test_scan_of_header_only_file_mentions_no_data_rows(self, tmp_path):
+        path = tmp_path / "header_only.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            CsvRowStream(path).scan()
+
+    def test_constant_and_all_nan_columns_end_to_end(self, tmp_path):
+        # Pin the ScanResult substitutions against MinMaxNormalizer.fit on
+        # the same in-memory data: an all-NaN column scans to the (0, 1)
+        # range and a constant column maps to 0.5 / inverts to the constant.
+        rng = np.random.default_rng(0)
+        n = 200
+        values = rng.normal(size=(n, 4))
+        values[:, 1] = 7.25  # constant column
+        values[:, 2] = np.nan  # never observed
+        values[rng.random(size=(n, 4)) < 0.2] = np.nan
+        values[:, 3] = rng.normal(size=n)  # fully observed column
+        path = tmp_path / "edge.csv"
+        write_csv(IncompleteDataset(values.copy()), path)
+
+        scan = CsvRowStream(path).scan()
+        from repro.data import MinMaxNormalizer
+
+        fitted = MinMaxNormalizer().fit(IncompleteDataset(values.copy()))
+        assert np.allclose(scan.minima, fitted.minima)
+        assert np.allclose(scan.maxima - scan.minima, fitted.ranges)
+        assert scan.minima[2] == 0.0 and scan.maxima[2] == 1.0  # NaN->(0,1)
+
+        out = tmp_path / "edge_imputed.csv"
+        config = ScisConfig(
+            initial_size=40,
+            validation_size=40,
+            error_bound=0.05,
+            dim=DimConfig(epochs=2),
+            seed=0,
+        )
+        impute_csv_streaming(
+            path, out, GAINImputer(epochs=2, seed=0), config, chunk_size=64
+        )
+        imputed = read_csv(out)
+        assert not np.isnan(imputed.values).any()
+        # Compare against the input *as written* (the CSV's .10g cells),
+        # which the pipeline must pass through exactly.
+        written = read_csv(path).values
+        observed = ~np.isnan(written)
+        assert np.array_equal(imputed.values[observed], written[observed])
+        # Constant column: every imputed cell inverts back to the constant.
+        assert np.allclose(imputed.values[:, 1], 7.25)
+        # All-NaN column: filled within its substituted (0, 1) range.
+        assert np.all(imputed.values[:, 2] >= 0.0)
+        assert np.all(imputed.values[:, 2] <= 1.0)
+
+
 class TestMultipleImputation:
     @pytest.fixture
     def trained(self, small_incomplete):
