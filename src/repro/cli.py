@@ -172,11 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs = sub.add_parser("obs", help="inspect a telemetry trace (JSON)")
-    obs.add_argument("action", choices=["summarize", "dump", "diff"])
+    obs.add_argument(
+        "action",
+        choices=["summarize", "dump", "diff", "waterfall", "export", "tail"],
+    )
     obs.add_argument(
         "trace",
-        help="trace JSON written by --trace / write_json_trace, or (for "
-        "diff) the BENCH_<name>.json baseline to compare against",
+        help="trace JSON written by --trace / write_json_trace, a JSONL "
+        "event stream (for tail, written by --live), or (for diff) the "
+        "BENCH_<name>.json baseline to compare against",
     )
     obs.add_argument(
         "candidate",
@@ -187,14 +191,33 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--format",
         dest="fmt",
-        default="csv",
-        choices=["csv", "json"],
-        help="dump format (default: csv)",
+        default=None,
+        choices=["csv", "json", "prom"],
+        help="dump format (default: csv) or export format (default: prom)",
     )
     obs.add_argument(
         "--event",
         default="",
         help="restrict dump to one event name (e.g. dim.epoch)",
+    )
+    obs.add_argument(
+        "--trace-id",
+        default=None,
+        help="waterfall only: which trace to render (omit to list the "
+        "trace ids present in the file)",
+    )
+    obs.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail only: keep following the event stream as it grows "
+        "(Ctrl-C prints the live summary and exits)",
+    )
+    obs.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="tail only: sliding-window width in seconds for the live "
+        "quantile table (default: 60)",
     )
     obs.add_argument("--output", default=None, help="write to file instead of stdout")
     obs.add_argument(
@@ -341,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record serve.* telemetry and write a JSON trace to PATH on exit",
     )
+    serve_run.add_argument(
+        "--live",
+        metavar="PATH",
+        default=None,
+        help="stream every telemetry event to PATH as JSONL while serving "
+        "(follow it live with `repro obs tail PATH --follow`); implies "
+        "recording, composes with --trace",
+    )
     return parser
 
 
@@ -471,6 +502,8 @@ def _cmd_evaluate(args) -> int:
 def _cmd_obs(args) -> int:
     if args.action == "diff":
         return _obs_diff(args)
+    if args.action == "tail":
+        return _obs_tail(args)
     try:
         trace = load_trace(args.trace)
     except (OSError, ValueError) as exc:
@@ -480,8 +513,35 @@ def _cmd_obs(args) -> int:
         return 2
     if args.action == "summarize":
         text = summarize_trace(trace)
-    elif args.fmt == "csv":
+    elif args.action == "waterfall":
+        from .obs import format_trace_index, format_waterfall
+
+        if args.trace_id is None:
+            text = format_trace_index(trace)
+        else:
+            try:
+                text = format_waterfall(trace, args.trace_id)
+            except ValueError as exc:
+                print(f"repro obs: {exc}", file=sys.stderr)
+                return 2
+    elif args.action == "export":
+        from .obs import prometheus_exposition
+
+        if args.fmt not in (None, "prom"):
+            print(
+                f"repro obs: export supports --format prom only, got {args.fmt}",
+                file=sys.stderr,
+            )
+            return 2
+        text = prometheus_exposition(trace)
+    elif args.fmt in (None, "csv"):
         text = events_to_csv(trace, event_name=args.event)
+    elif args.fmt == "prom":
+        print(
+            "repro obs: --format prom belongs to `repro obs export`",
+            file=sys.stderr,
+        )
+        return 2
     else:
         import json
 
@@ -500,6 +560,40 @@ def _cmd_obs(args) -> int:
             import os
 
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _obs_tail(args) -> int:
+    """``repro obs tail <events.jsonl>``: live quantiles over an event stream.
+
+    Without ``--follow``, drains the file and prints the end-of-stream
+    sliding-window table.  With ``--follow``, echoes events as they are
+    appended and prints the table on Ctrl-C (or when the writer stops and
+    the user interrupts).
+    """
+    from .obs import LiveAggregator, tail_events
+
+    aggregator = LiveAggregator(window_seconds=args.window)
+    try:
+        for event in tail_events(args.trace, follow=args.follow):
+            aggregator.ingest(event)
+            if args.follow:
+                fields = " ".join(
+                    f"{k}={v}" for k, v in (event.get("fields") or {}).items()
+                )
+                print(f"{float(event.get('t', 0.0)):10.3f}s {event['name']} {fields}")
+        print(aggregator.render())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe — normal
+        # for a tail command; suppress the shutdown flush error too.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except OSError as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(aggregator.render())
     return 0
 
 
@@ -755,12 +849,24 @@ def _serve_run(args) -> int:
     )
 
     def run(in_stream) -> dict:
-        if args.trace is None:
+        if args.trace is None and args.live is None:
             return serve_jsonl(server, in_stream, sys.stdout)
-        with recording() as rec:
-            stats = serve_jsonl(server, in_stream, sys.stdout)
-        write_json_trace(rec, args.trace)
-        print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
+        from .obs import StreamingRecorder
+
+        recorder = (
+            StreamingRecorder(args.live) if args.live is not None else None
+        )
+        try:
+            with recording(recorder) as rec:
+                stats = serve_jsonl(server, in_stream, sys.stdout)
+        finally:
+            if recorder is not None:
+                recorder.close()
+        if args.live is not None:
+            print(f"streamed telemetry events -> {args.live}", file=sys.stderr)
+        if args.trace is not None:
+            write_json_trace(rec, args.trace)
+            print(f"wrote telemetry trace -> {args.trace}", file=sys.stderr)
         return stats
 
     if args.input == "-":

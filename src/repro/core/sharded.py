@@ -50,6 +50,7 @@ from ..data.streaming import (
 )
 from ..models.base import GenerativeImputer
 from ..obs import get_recorder
+from ..obs.tracing import record_span, span, start_trace, trace_context
 from ..parallel import ExecutionContext
 
 __all__ = ["ShardedImputeReport", "fit_impute_sharded", "fit_impute_dense", "DenseScan"]
@@ -143,11 +144,20 @@ def fit_impute_sharded(
     output_path.mkdir(parents=True, exist_ok=True)
 
     start_total = time.perf_counter()
+    recorder = get_recorder()
+    # One trace per sharded run: the root span is emitted at the end (when
+    # the totals are known); shard.train / per-shard shard.impute spans
+    # parent to it, crossing fork boundaries via the spawn payload.
+    root_ctx = start_trace() if recorder.enabled else None
 
     # Pass 1: manifest stats + reservoir -> trained model.
-    normalizer, scis_result, training_seconds, total_rows = train_scis_from_scan(
-        store, model, scis_config, seed=seed, source=str(store.path)
-    )
+    with trace_context(root_ctx):
+        with span("shard.train", store=str(store.path)):
+            normalizer, scis_result, training_seconds, total_rows = (
+                train_scis_from_scan(
+                    store, model, scis_config, seed=seed, source=str(store.path)
+                )
+            )
     reservoir_rows = min(
         total_rows, scan_sample_budget(scis_config) if scis_config else 0
     )
@@ -167,29 +177,31 @@ def fit_impute_sharded(
 
     def impute_shard(index: int):
         def task():
-            values, mask = store.shard(index)
-            restored = impute_chunk_indexed(
-                model, normalizer, values, mask, offsets[index], noise_seed
-            )
-            labels = store.shard_labels(index)
-            info = write_shard_file(output_path, index, restored, labels)
-            recorder = get_recorder()
-            if recorder.enabled:
-                recorder.inc("shard.imputed")
-                recorder.emit(
-                    "shard.impute",
-                    index=index,
-                    rows=info.rows,
-                    start_row=offsets[index],
+            with span("shard.impute", shard=index):
+                values, mask = store.shard(index)
+                restored = impute_chunk_indexed(
+                    model, normalizer, values, mask, offsets[index], noise_seed
                 )
-            return info
+                labels = store.shard_labels(index)
+                info = write_shard_file(output_path, index, restored, labels)
+                recorder = get_recorder()
+                if recorder.enabled:
+                    recorder.inc("shard.imputed")
+                    recorder.emit(
+                        "shard.impute",
+                        index=index,
+                        rows=info.rows,
+                        start_row=offsets[index],
+                    )
+                return info
 
         return task
 
     start_impute = time.perf_counter()
-    infos = context.run(
-        [impute_shard(i) for i in range(store.n_shards)], label="shard.impute"
-    )
+    with trace_context(root_ctx):
+        infos = context.run(
+            [impute_shard(i) for i in range(store.n_shards)], label="shard.impute"
+        )
     impute_seconds = time.perf_counter() - start_impute
 
     out_manifest = ShardManifest(
@@ -208,7 +220,6 @@ def fit_impute_sharded(
     total_seconds = time.perf_counter() - start_total
     max_shard_rows = max(info.rows for info in manifest.shards)
     peak_resident_rows = max_shard_rows + reservoir_rows
-    recorder = get_recorder()
     if recorder.enabled:
         recorder.set_gauge("shard.peak_resident_rows", float(peak_resident_rows))
         recorder.emit(
@@ -221,6 +232,17 @@ def fit_impute_sharded(
             training_seconds=training_seconds,
             impute_seconds=impute_seconds,
             backend=context.backend,
+            trace_id=root_ctx.trace_id if root_ctx else None,
+        )
+        clock_at = getattr(recorder, "clock_at", None)
+        record_span(
+            "shard.fit_impute",
+            root_ctx,
+            total_seconds,
+            start=clock_at(start_total) if callable(clock_at) else None,
+            recorder=recorder,
+            rows=total_rows,
+            n_shards=store.n_shards,
         )
 
     timings = dict(scis_result.timings)

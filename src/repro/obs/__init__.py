@@ -28,6 +28,14 @@ from .export import (
     write_json_trace,
 )
 from .health import HealthConfig, HealthMonitor
+from .live import (
+    LiveAggregator,
+    QuantileDigest,
+    SlidingWindow,
+    StreamingRecorder,
+    prometheus_exposition,
+    tail_events,
+)
 from .profiler import (
     OpProfiler,
     OpStats,
@@ -48,6 +56,19 @@ from .recorder import (
     trace,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import (
+    TraceContext,
+    current_trace,
+    format_trace_index,
+    format_waterfall,
+    record_span,
+    set_trace_context,
+    span,
+    spans_of_trace,
+    start_trace,
+    trace_context,
+    trace_ids,
+)
 
 __all__ = [
     "Counter",
@@ -77,4 +98,21 @@ __all__ = [
     "format_profile_table",
     "HealthConfig",
     "HealthMonitor",
+    "TraceContext",
+    "start_trace",
+    "current_trace",
+    "set_trace_context",
+    "trace_context",
+    "span",
+    "record_span",
+    "spans_of_trace",
+    "trace_ids",
+    "format_trace_index",
+    "format_waterfall",
+    "QuantileDigest",
+    "SlidingWindow",
+    "LiveAggregator",
+    "prometheus_exposition",
+    "StreamingRecorder",
+    "tail_events",
 ]

@@ -122,14 +122,21 @@ class InMemoryRecorder(Recorder):
 
     enabled = True
 
-    def __init__(self, max_events: int = 100_000) -> None:
+    def __init__(
+        self, max_events: int = 100_000, clock_anchor: Optional[float] = None
+    ) -> None:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
         self.events: List[Event] = []
         self.dropped_events = 0
         self._metrics = MetricsRegistry()
-        self._start = time.perf_counter()
+        # A fork worker anchors its recorder to the parent recorder's epoch
+        # (perf_counter is the system-wide monotonic clock on Linux, so the
+        # anchor survives the fork): its event timestamps are then directly
+        # comparable to the parent's, and absorb() keeps them verbatim.
+        self._start = time.perf_counter() if clock_anchor is None else clock_anchor
+        self.anchored = clock_anchor is not None
         self._lock = threading.Lock()
         self._spans = threading.local()
 
@@ -138,11 +145,17 @@ class InMemoryRecorder(Recorder):
         return self._metrics
 
     def clock(self) -> float:
-        """Seconds since this recorder was created."""
+        """Seconds since this recorder was created (or since its anchor)."""
         return time.perf_counter() - self._start
 
+    def clock_at(self, perf_t: float) -> float:
+        """Map a ``time.perf_counter()`` reading onto this recorder's clock."""
+        return perf_t - self._start
+
     def emit(self, name: str, **fields: object) -> None:
-        event = Event(name=name, t=self.clock(), fields=fields)
+        self._record(Event(name=name, t=self.clock(), fields=fields))
+
+    def _record(self, event: Event) -> None:
         with self._lock:
             if len(self.events) < self.max_events:
                 self.events.append(event)
@@ -174,6 +187,7 @@ class InMemoryRecorder(Recorder):
             "duration_seconds": self.clock(),
             "n_events": len(events),
             "dropped_events": dropped,
+            "anchored": self.anchored,
             "events": events,
             "metrics": self._metrics.snapshot(include_samples=include_samples),
         }
@@ -182,14 +196,27 @@ class InMemoryRecorder(Recorder):
         """Merge a child recorder's trace dict into this recorder.
 
         Used by :class:`repro.parallel.ExecutionContext` to fold per-worker
-        telemetry back into the parent: events are re-emitted (re-stamped
-        on this recorder's clock), counters add, gauges take the child's
-        last value, and histograms merge via :meth:`Histogram.absorb` —
-        count/total/mean/min/max exactly, quantiles approximately.  Callers
-        should absorb child traces in a deterministic order (task order).
+        telemetry back into the parent: events from an *anchored* child
+        (one created with ``clock_anchor=parent._start``) keep their
+        original timestamps — they are already on this recorder's clock —
+        while unanchored events are re-stamped at absorb time; counters
+        add, gauges take the child's last value, and histograms merge via
+        :meth:`Histogram.absorb` — count/total/mean/min/max exactly,
+        quantiles approximately.  Callers should absorb child traces in a
+        deterministic order (task order).
         """
+        anchored = bool(trace.get("anchored"))
         for event in trace.get("events", []):
-            self.emit(event["name"], **event.get("fields", {}))
+            if anchored:
+                self._record(
+                    Event(
+                        name=event["name"],
+                        t=float(event.get("t", 0.0)),
+                        fields=dict(event.get("fields", {})),
+                    )
+                )
+            else:
+                self.emit(event["name"], **event.get("fields", {}))
         metrics = trace.get("metrics", {})
         for name, value in metrics.get("counters", {}).items():
             self.metrics.counter(name).inc(value)

@@ -155,6 +155,7 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
+            "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
         }
         if include_samples:

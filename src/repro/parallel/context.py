@@ -35,7 +35,8 @@ import os
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..obs import get_recorder
-from ..obs.recorder import recording
+from ..obs.recorder import InMemoryRecorder, recording
+from ..obs.tracing import TraceContext, current_trace, trace_context
 
 __all__ = ["ExecutionContext", "available_cpus", "env_workers"]
 
@@ -43,9 +44,15 @@ BACKENDS = ("serial", "process")
 
 # Fork-inherited task table: _run_indexed_task must be importable (it is sent
 # to workers by name), while the tasks themselves may be closures — workers
-# reach them through the memory image inherited at fork time.
+# reach them through the memory image inherited at fork time.  The spawn
+# payload also carries the submitting thread's trace context (so worker
+# spans re-link to the parent trace) and the parent recorder's clock epoch
+# (so worker event timestamps land on the parent clock — see
+# InMemoryRecorder.absorb's anchored path).
 _TASKS: Sequence[Callable[[], object]] = ()
 _CAPTURE_OBS: bool = False
+_SPAWN_TRACE: Optional[TraceContext] = None
+_SPAWN_CLOCK: Optional[float] = None
 
 
 def _run_indexed_task(index: int) -> Tuple[str, object, Optional[dict]]:
@@ -60,8 +67,10 @@ def _run_indexed_task(index: int) -> Tuple[str, object, Optional[dict]]:
     task = _TASKS[index]
     try:
         if _CAPTURE_OBS:
-            with recording() as rec:
-                value = task()
+            child = InMemoryRecorder(clock_anchor=_SPAWN_CLOCK)
+            with trace_context(_SPAWN_TRACE):
+                with recording(child) as rec:
+                    value = task()
             return ("ok", value, rec.to_dict(include_samples=True))
         return ("ok", task(), None)
     except Exception as exc:  # noqa: BLE001 — transported to the parent
@@ -190,13 +199,18 @@ class ExecutionContext:
         """One fork pool over the task table; raises on infrastructure errors."""
         import multiprocessing
 
-        global _TASKS, _CAPTURE_OBS
+        global _TASKS, _CAPTURE_OBS, _SPAWN_TRACE, _SPAWN_CLOCK
         context = multiprocessing.get_context("fork")  # ValueError on platforms without fork
+        recorder = get_recorder()
         _TASKS = tasks
-        _CAPTURE_OBS = get_recorder().enabled
+        _CAPTURE_OBS = recorder.enabled
+        _SPAWN_TRACE = current_trace()
+        _SPAWN_CLOCK = getattr(recorder, "_start", None)
         try:
             with context.Pool(processes=workers) as pool:
                 return pool.map(_run_indexed_task, range(len(tasks)))
         finally:
             _TASKS = ()
             _CAPTURE_OBS = False
+            _SPAWN_TRACE = None
+            _SPAWN_CLOCK = None

@@ -25,7 +25,14 @@ Serving semantics (contract: ``docs/serving.md``):
 Telemetry (all recorder-guarded): ``serve.request`` and ``serve.batch``
 events, the ``serve.queue_depth`` gauge, ``serve.requests`` /
 ``serve.batches`` / ``serve.errors`` / ``serve.evictions`` counters, and
-``serve.latency_seconds`` / ``serve.coalesced`` histograms.
+``serve.latency_seconds`` / ``serve.coalesced`` histograms.  Every request
+additionally carries a :class:`~repro.obs.tracing.TraceContext` from
+submit to reply: the lifecycle is emitted as a ``serve.request`` root span
+with ``serve.queue_wait`` / ``serve.coalesce`` / ``serve.execute`` /
+``serve.reply`` children that tile the request's wall-clock, plus a
+``serve.model`` span from inside the worker (fork children included —
+their spans are clock-anchored and absorbed with the parent trace_id), so
+``repro obs waterfall <trace_id>`` reconstructs the end-to-end breakdown.
 
 :func:`serve_jsonl` is the transport the ``repro serve run`` CLI speaks:
 line-delimited JSON requests in, line-delimited JSON responses out
@@ -35,6 +42,7 @@ EOF or an explicit ``{"op": "shutdown"}`` request.
 
 from __future__ import annotations
 
+import itertools
 import json
 import queue
 import threading
@@ -49,6 +57,8 @@ from ..data.batches import BatchPlan
 from ..data.dataset import IncompleteDataset
 from ..data.io import read_csv, write_csv
 from ..obs import get_recorder
+from ..obs.live import prometheus_exposition
+from ..obs.tracing import TraceContext, record_span, start_trace
 from ..parallel import ExecutionContext
 from .registry import LoadedModel, ModelRegistry, RegistryError, schema_fingerprint
 
@@ -108,13 +118,23 @@ class ImputeResponse:
 
 @dataclass
 class _Pending:
-    """A queued request: payload plus its future and timing bookkeeping."""
+    """A queued request: payload plus its future and timing bookkeeping.
+
+    ``ctx`` is the request's root :class:`TraceContext` (``None`` with a
+    disabled recorder) — it is carried explicitly because the request
+    crosses from the submitting thread to the dispatcher thread, where
+    thread-local ambient context cannot follow.  ``dequeued`` is stamped by
+    the dispatcher when the request leaves the queue, splitting queue-wait
+    from coalescing time in the request's span waterfall.
+    """
 
     id: str
     key: str
     values: np.ndarray
     future: "Future[ImputeResponse]"
     submitted: float = field(default_factory=time.perf_counter)
+    ctx: Optional[TraceContext] = None
+    dequeued: float = 0.0
 
 
 class ImputationServer:
@@ -138,6 +158,9 @@ class ImputationServer:
         self._draining = True
         self._started = False
         self._stopped = False
+        # Monotonic default request ids: id(future) is reused after garbage
+        # collection, so long-lived servers could emit colliding ids.
+        self._request_seq = itertools.count()
         self.served_requests = 0
         self.served_rows = 0
 
@@ -196,14 +219,15 @@ class ImputationServer:
         if values.ndim != 2:
             raise ValueError(f"request values must be 1-D or 2-D, got shape {values.shape}")
         future: "Future[ImputeResponse]" = Future()
+        recorder = get_recorder()
         pending = _Pending(
-            id=request_id if request_id is not None else f"r{id(future):x}",
+            id=request_id if request_id is not None else f"r{next(self._request_seq)}",
             key=key,
             values=values,
             future=future,
+            ctx=start_trace() if recorder.enabled else None,
         )
         self._queue.put(pending)
-        recorder = get_recorder()
         if recorder.enabled:
             recorder.set_gauge("serve.queue_depth", self._queue.qsize())
         return future
@@ -277,6 +301,7 @@ class ImputationServer:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 break
+            item.dequeued = time.perf_counter()
             batch = [item]
             rows = item.values.shape[0]
             deadline = time.perf_counter() + self.config.batch_window_seconds
@@ -292,6 +317,7 @@ class ImputationServer:
                 if nxt is _SHUTDOWN:
                     stop = True
                     break
+                nxt.dequeued = time.perf_counter()
                 batch.append(nxt)
                 rows += nxt.values.shape[0]
             self._dispatch(batch)
@@ -303,6 +329,7 @@ class ImputationServer:
             except queue.Empty:
                 break
             if item is not _SHUTDOWN:
+                item.dequeued = time.perf_counter()
                 leftovers.append(item)
         if leftovers:
             if self._draining:
@@ -350,12 +377,24 @@ class ImputationServer:
             return
 
         started = time.perf_counter()
-        tasks = [
-            (lambda g=group, m=loaded: _serve_group_rows(m, g))
+        # Pre-assign each request's execute-span identity so the model span
+        # emitted inside the worker (possibly a fork child) can parent
+        # itself to the right request even across the process boundary.
+        staged = [
+            (
+                key,
+                group,
+                loaded,
+                [p.ctx.child() if p.ctx is not None else None for p in group],
+            )
             for key, group, loaded in ready
         ]
+        tasks = [
+            (lambda g=group, m=loaded, e=exec_ctxs: _serve_group_rows(m, g, e))
+            for key, group, loaded, exec_ctxs in staged
+        ]
         outputs = self.context.run(tasks, label="serve.batch")
-        for (key, group, loaded), output in zip(ready, outputs):
+        for (key, group, loaded, exec_ctxs), output in zip(staged, outputs):
             seconds = time.perf_counter() - started
             n_rows = int(sum(p.values.shape[0] for p in group))
             self.served_requests += len(group)
@@ -375,9 +414,10 @@ class ImputationServer:
             split = BatchPlan.of_sizes(
                 [p.values.shape[0] for p in group]
             ).bounds(output.shape[0])
-            for pending, (start, stop) in zip(group, split):
+            for pending, exec_ctx, (start, stop) in zip(group, exec_ctxs, split):
                 n = stop - start
                 rows = output[start:stop]
+                exec_end = time.perf_counter()
                 response = ImputeResponse(
                     id=pending.id,
                     key=key,
@@ -386,8 +426,10 @@ class ImputationServer:
                     service_seconds=seconds,
                     coalesced=len(group),
                 )
+                pending.future.set_result(response)
+                done = time.perf_counter()
                 if recorder.enabled:
-                    latency = time.perf_counter() - pending.submitted
+                    latency = done - pending.submitted
                     recorder.observe("serve.latency_seconds", latency)
                     recorder.emit(
                         "serve.request",
@@ -397,27 +439,112 @@ class ImputationServer:
                         queue_seconds=response.queue_seconds,
                         latency_seconds=latency,
                         coalesced=len(group),
+                        trace_id=pending.ctx.trace_id if pending.ctx else None,
                     )
-                pending.future.set_result(response)
+                    self._emit_request_spans(
+                        recorder, pending, exec_ctx, started, exec_end, done
+                    )
+
+    def _emit_request_spans(
+        self,
+        recorder,
+        pending: _Pending,
+        exec_ctx: Optional[TraceContext],
+        started: float,
+        exec_end: float,
+        done: float,
+    ) -> None:
+        """Emit the request's span waterfall: root + four tiling children.
+
+        ``queue_wait`` / ``coalesce`` / ``execute`` / ``reply`` partition
+        ``[submitted, done]`` with no gaps, so the children account for the
+        request's full measured wall-clock by construction.  The execute
+        span reuses the pre-assigned ``exec_ctx`` so the worker-side
+        ``serve.model`` span (absorbed from a fork child) hangs under it.
+        """
+        ctx = pending.ctx
+        if ctx is None:
+            return
+        clock_at = getattr(recorder, "clock_at", None)
+        at = clock_at if callable(clock_at) else (lambda _t: None)
+        dequeued = pending.dequeued or pending.submitted
+        record_span(
+            "serve.request",
+            ctx,
+            done - pending.submitted,
+            start=at(pending.submitted),
+            recorder=recorder,
+            request=pending.id,
+            key=pending.key,
+        )
+        for name, t0, t1, child in (
+            ("serve.queue_wait", pending.submitted, dequeued, ctx.child()),
+            ("serve.coalesce", dequeued, started, ctx.child()),
+            ("serve.execute", started, exec_end, exec_ctx),
+            ("serve.reply", exec_end, done, ctx.child()),
+        ):
+            record_span(
+                name,
+                child if child is not None else ctx.child(),
+                t1 - t0,
+                start=at(t0),
+                recorder=recorder,
+                request=pending.id,
+            )
 
     def _fail_group(self, group: List[_Pending], message: str, recorder) -> None:
         for pending in group:
+            done = time.perf_counter()
+            latency = done - pending.submitted
             if recorder.enabled:
                 recorder.inc("serve.errors")
+                # Errored requests hit the same latency histogram as
+                # successes — muting them would bias the tail downward.
+                recorder.observe("serve.latency_seconds", latency)
                 recorder.emit(
                     "serve.request",
                     id=pending.id,
                     key=pending.key,
                     n_rows=int(pending.values.shape[0]),
                     error=message,
+                    latency_seconds=latency,
+                    trace_id=pending.ctx.trace_id if pending.ctx else None,
                 )
+                if pending.ctx is not None:
+                    clock_at = getattr(recorder, "clock_at", None)
+                    record_span(
+                        "serve.request",
+                        pending.ctx,
+                        latency,
+                        start=(
+                            clock_at(pending.submitted)
+                            if callable(clock_at)
+                            else None
+                        ),
+                        recorder=recorder,
+                        request=pending.id,
+                        key=pending.key,
+                        error=True,
+                    )
             pending.future.set_result(
                 ImputeResponse(id=pending.id, key=pending.key, values=None, error=message)
             )
 
 
-def _serve_group_rows(loaded: LoadedModel, group: List[_Pending]) -> np.ndarray:
-    """Impute one key-group's stacked rows; observed cells pass through raw."""
+def _serve_group_rows(
+    loaded: LoadedModel,
+    group: List[_Pending],
+    exec_ctxs: Optional[List[Optional[TraceContext]]] = None,
+) -> np.ndarray:
+    """Impute one key-group's stacked rows; observed cells pass through raw.
+
+    Runs in the dispatcher thread (serial context) or a fork worker
+    (process context).  ``exec_ctxs`` carries each request's pre-assigned
+    execute-span context, so the ``serve.model`` span emitted here parents
+    to the right request's trace even when it is recorded by a child
+    recorder and absorbed later.
+    """
+    t0 = time.perf_counter()
     raw = np.vstack([pending.values for pending in group])
     mask = (~np.isnan(raw)).astype(np.float64)
     scaled = loaded.normalizer.transform(raw) if loaded.normalizer else raw
@@ -432,7 +559,26 @@ def _serve_group_rows(loaded: LoadedModel, group: List[_Pending]) -> np.ndarray:
         imputed = loaded.normalizer.inverse_transform(imputed)
     # Bit-exact pass-through: never let the scale round trip touch observed
     # cells.
-    return np.where(mask == 1.0, np.nan_to_num(raw, nan=0.0), imputed)
+    result = np.where(mask == 1.0, np.nan_to_num(raw, nan=0.0), imputed)
+    recorder = get_recorder()
+    if recorder.enabled and exec_ctxs:
+        seconds = time.perf_counter() - t0
+        clock_at = getattr(recorder, "clock_at", None)
+        start = clock_at(t0) if callable(clock_at) else None
+        for pending, exec_ctx in zip(group, exec_ctxs):
+            if exec_ctx is None:
+                continue
+            record_span(
+                "serve.model",
+                exec_ctx.child(),
+                seconds,
+                start=start,
+                recorder=recorder,
+                request=pending.id,
+                key=loaded.entry.key,
+                n_rows=int(pending.values.shape[0]),
+            )
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -469,6 +615,9 @@ def serve_jsonl(
     * ``{"op": "impute_csv", "id": .., "key": .., "input": p, "output": p}``
       — bulk-impute a CSV file → ``{"id", "ok", "n_rows", "output"}``.
     * ``{"op": "keys", "id": ..}`` — list registry keys.
+    * ``{"op": "metrics", "id": ..}`` — Prometheus text exposition of the
+      live recorder's metrics (a placeholder comment when no recorder is
+      attached).
     * ``{"op": "ping", "id": ..}`` — liveness check.
     * ``{"op": "shutdown", "id": ..}`` — drain, acknowledge, exit.
 
@@ -529,6 +678,21 @@ def serve_jsonl(
                 continue
             if op == "keys":
                 reply({"id": request_id, "ok": True, "keys": server.registry.keys()})
+                continue
+            if op == "metrics":
+                recorder = get_recorder()
+                if recorder.enabled:
+                    exposition = prometheus_exposition(recorder.metrics.snapshot())
+                else:
+                    exposition = "# no recorder attached (run with --trace or --live)\n"
+                reply(
+                    {
+                        "id": request_id,
+                        "ok": True,
+                        "op": "metrics",
+                        "exposition": exposition,
+                    }
+                )
                 continue
             if op == "impute":
                 values = _rows_from_json(request["rows"])

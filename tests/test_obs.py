@@ -231,6 +231,100 @@ class TestSpans:
         after = [e.fields for e in rec.events if e.fields.get("span") == "after"]
         assert after[0]["depth"] == 0 and after[0]["parent"] is None
 
+    def test_deep_raise_unwinds_every_stack_level(self):
+        # A raise three levels down must pop all three frames — a later
+        # span at top level sees depth 0, not a leaked lineage.
+        with recording() as rec:
+            with pytest.raises(RuntimeError):
+                with trace("a"):
+                    with trace("b"):
+                        with trace("c"):
+                            raise RuntimeError("boom")
+            with trace("after"):
+                pass
+        spans = {e.fields["span"]: e.fields for e in rec.events if e.name == "span"}
+        # Every abandoned span still closed (emitted) with its true lineage.
+        assert spans["c"]["depth"] == 2 and spans["c"]["parent"] == "b"
+        assert spans["b"]["depth"] == 1 and spans["b"]["parent"] == "a"
+        assert spans["a"]["depth"] == 0 and spans["a"]["parent"] is None
+        assert spans["after"]["depth"] == 0 and spans["after"]["parent"] is None
+
+
+class TestAbsorbEdgeCases:
+    """Folding a child recorder's trace into a parent with clashing names."""
+
+    def test_counter_collision_sums(self):
+        parent, child = InMemoryRecorder(), InMemoryRecorder()
+        parent.inc("shared.count", 2)
+        child.inc("shared.count", 3)
+        child.inc("child.only", 1)
+        parent.absorb(child.to_dict())
+        assert parent.metrics.counter("shared.count").value == 5
+        assert parent.metrics.counter("child.only").value == 1
+
+    def test_gauge_collision_takes_child_value_unless_unset(self):
+        parent, child = InMemoryRecorder(), InMemoryRecorder()
+        parent.set_gauge("shared.gauge", 1.0)
+        child.set_gauge("shared.gauge", 7.0)
+        child.metrics.gauge("unset.gauge")  # created but never set
+        parent.set_gauge("unset.gauge", 4.0)
+        parent.absorb(child.to_dict())
+        assert parent.metrics.gauge("shared.gauge").value == 7.0
+        # A child gauge that was never set must not clobber the parent's.
+        assert parent.metrics.gauge("unset.gauge").value == 4.0
+
+    def test_histogram_collision_merges_moments_exactly(self):
+        parent, child = InMemoryRecorder(), InMemoryRecorder()
+        for value in (1.0, 2.0):
+            parent.observe("shared.hist", value)
+        for value in (3.0, 4.0, 5.0):
+            child.observe("shared.hist", value)
+        parent.absorb(child.to_dict(include_samples=True))
+        merged = parent.metrics.histogram("shared.hist")
+        assert merged.count == 5
+        assert merged.total == 15.0
+        assert merged.min == 1.0 and merged.max == 5.0
+        assert merged.mean == pytest.approx(3.0)
+        # Samples travelled too, so quantiles span both recorders.
+        assert merged.percentile(100.0) == 5.0
+
+    def test_anchored_absorb_preserves_event_timestamps(self):
+        parent = InMemoryRecorder()
+        child = InMemoryRecorder(clock_anchor=parent._start)
+        assert child.anchored
+        child.emit("child.evt", x=1)
+        original_t = child.events[0].t
+        parent.absorb(child.to_dict())
+        [event] = [e for e in parent.events if e.name == "child.evt"]
+        assert event.t == original_t  # already on the parent's clock
+
+    def test_unanchored_absorb_restamps_at_absorb_time(self):
+        parent, child = InMemoryRecorder(), InMemoryRecorder()
+        assert not child.anchored
+        child.emit("child.evt")
+        trace_dict = child.to_dict()
+        trace_dict["events"][0]["t"] = 1e6  # a foreign clock's offset
+        parent.absorb(trace_dict)
+        [event] = parent.events
+        assert event.t < 1e5  # re-stamped on the parent clock, not copied
+
+    def test_absorb_accumulates_dropped_events(self):
+        parent = InMemoryRecorder()
+        child = InMemoryRecorder(max_events=1)
+        child.emit("kept")
+        child.emit("dropped")
+        parent.absorb(child.to_dict())
+        assert parent.dropped_events == 1
+
+    def test_clock_at_maps_perf_counter_onto_recorder_clock(self):
+        import time as _time
+
+        rec = InMemoryRecorder()
+        now = _time.perf_counter()
+        offset = rec.clock_at(now)
+        assert 0.0 <= offset < 10.0
+        assert rec.clock_at(now + 1.5) == pytest.approx(offset + 1.5)
+
 
 class TestExporters:
     def _sample_recorder(self):

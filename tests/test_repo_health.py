@@ -122,6 +122,62 @@ class TestObsDocConsistency:
         assert any(k.startswith("rmse.") for k in baseline["metrics"])
 
 
+class TestTracingDocConsistency:
+    """docs must track the tracing/live-telemetry surface added with
+    request-scoped tracing: every literal event name emitted anywhere in
+    src/ belongs in the docs/observability.md catalogue, as do the span
+    names assembled by the serving and sharded layers."""
+
+    def test_every_emitted_event_name_documented(self):
+        # Any `recorder.emit("some.name", ...)` literal in the source tree
+        # must appear in docs/observability.md — the catalogue IS the
+        # contract, and an undocumented event is a silent drift.
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        pattern = re.compile(r"\.emit\(\s*['\"]([a-z0-9_.]+)['\"]")
+        missing = set()
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            for name in pattern.findall(path.read_text()):
+                if name not in obs_text:
+                    missing.add(f"{name} (from {path.relative_to(REPO_ROOT)})")
+        assert not missing, (
+            f"docs/observability.md misses emitted event names: {sorted(missing)}"
+        )
+
+    def test_lifecycle_span_names_documented(self):
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in (
+            "serve.queue_wait",
+            "serve.coalesce",
+            "serve.execute",
+            "serve.reply",
+            "serve.model",
+            "shard.fit_impute",
+            "shard.train",
+            "shard.impute",
+            "trace_id",
+            "parent_span_id",
+        ):
+            assert name in obs_text, f"docs/observability.md misses {name}"
+
+    def test_tracing_cli_commands_documented(self):
+        api_text = (REPO_ROOT / "docs" / "api.md").read_text()
+        obs_text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for phrase in ("repro obs waterfall", "repro obs tail", "repro obs export"):
+            assert phrase in api_text, f"docs/api.md misses `{phrase}`"
+            assert phrase in obs_text, f"docs/observability.md misses `{phrase}`"
+        assert "--live" in obs_text
+
+    def test_slo_ratio_documented_in_serving_doc(self):
+        serving_doc = (REPO_ROOT / "docs" / "serving.md").read_text()
+        for name in ("serving.p95_over_p50", "metrics"):
+            assert name in serving_doc, f"docs/serving.md misses {name}"
+
+    def test_clock_anchoring_documented_in_parallel_doc(self):
+        parallel_doc = (REPO_ROOT / "docs" / "parallel.md").read_text()
+        for phrase in ("clock_anchor", "trace_id"):
+            assert phrase in parallel_doc, f"docs/parallel.md misses {phrase}"
+
+
 class TestBackendDocConsistency:
     """docs must track the tensor-backend protocol and the batched solver."""
 

@@ -11,9 +11,11 @@ GATED = (
     "serving.burst_uncoalesced",
     "serving.correctness_failures",
     "serving.errors",
+    "serving.p95_over_p50",
 )
 TIMED = (
     "serving.latency_p50_seconds",
+    "serving.latency_p95_seconds",
     "serving.latency_p99_seconds",
     "serving.seconds_per_1k_rows",
 )
@@ -68,6 +70,16 @@ class TestServingBench:
         assert np.isfinite(
             [bench_result.baseline["metrics"][n] for n in TIMED]
         ).all()
+
+    def test_p95_over_p50_is_a_sane_ratio(self, bench_result):
+        metrics = bench_result.baseline["metrics"]
+        ratio = metrics["serving.p95_over_p50"]
+        assert ratio >= 1.0  # p95 can never undercut p50
+        assert np.isclose(
+            ratio,
+            metrics["serving.latency_p95_seconds"]
+            / metrics["serving.latency_p50_seconds"],
+        )
 
     def test_self_diff_is_clean(self, bench_result):
         deltas = diff_baselines(
