@@ -181,16 +181,18 @@ def run_smoke_bench(
 ) -> List[MethodResult]:
     """Tiny fixed bench used for regression gating (seconds, not minutes).
 
-    One small synthetic dataset, a 4-cell method matrix spanning the
+    One small synthetic dataset, a 5-cell method matrix spanning the
     stack's layers: ``mean`` (data plumbing only), ``knn`` (classical
-    numerics), and two short DIM runs — ``dim-gain`` (autodiff + Sinkhorn +
+    numerics), two short DIM runs — ``dim-gain`` (autodiff + Sinkhorn +
     optimiser hot paths) and ``dim-gain-adv`` (the same plus the
-    adversarial phase).  The two DIM cells dominate wall-clock, so the
-    matrix parallelises well across two workers.  Run it under
-    :func:`repro.obs.recording` to also capture the
-    ``sinkhorn.iterations`` / epoch-timing metrics the baseline snapshots.
+    adversarial phase) — and ``otdirect`` (direct batch-Sinkhorn descent on
+    the missing cells, exercising the stacked/warm-started solver path).
+    The training cells dominate wall-clock, so the matrix parallelises well
+    across two workers.  Run it under :func:`repro.obs.recording` to also
+    capture the ``sinkhorn.iterations`` / epoch-timing metrics the baseline
+    snapshots.
     """
-    from ..models import GAINImputer, KNNImputer, MeanImputer
+    from ..models import GAINImputer, KNNImputer, MeanImputer, SinkhornImputer
 
     case = prepare_case("trial", n_samples=n_samples, seed=seed)
     dim_config = DimConfig(
@@ -207,6 +209,13 @@ def run_smoke_bench(
         ),
         "dim-gain-adv": lambda s: DimImputer(
             GAINImputer(epochs=epochs, seed=s), config=adv_config, seed=s
+        ),
+        "otdirect": lambda s: SinkhornImputer(
+            epochs=10 * epochs,
+            batch_size=32,
+            sinkhorn_max_iter=50,
+            mlp_epochs=epochs,
+            seed=s,
         ),
     }
     return run_comparison([case], factories, n_seeds=1, context=context)

@@ -380,7 +380,7 @@ def _make_runner(args):
     seedless = {"mean", "median", "mode", "knn", "constant", "em"}
     kwargs = {} if args.method in seedless else {"seed": args.seed}
     if args.method in ("gain", "ginn", "datawig", "rrsi", "midae", "vaei", "miwae",
-                       "eddi", "hivae"):
+                       "eddi", "hivae", "otdirect"):
         kwargs["epochs"] = args.epochs
     model = make_imputer(args.method, **kwargs)
     if not args.scis:
@@ -774,7 +774,7 @@ def _serve_fit(args) -> int:
     seedless = {"mean", "median", "mode", "knn", "constant", "em"}
     kwargs = {} if args.method in seedless else {"seed": args.seed}
     if args.method in ("gain", "ginn", "datawig", "rrsi", "midae", "vaei", "miwae",
-                       "eddi", "hivae"):
+                       "eddi", "hivae", "otdirect"):
         kwargs["epochs"] = args.epochs
     model = make_imputer(args.method, **kwargs)
     if args.dim:

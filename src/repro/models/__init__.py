@@ -6,6 +6,7 @@ from .em import GaussianEMImputer
 from .gan import GAINImputer, GINNImputer, knn_graph_adjacency
 from .ml import BaranImputer, MICEImputer, MissForestImputer, RidgeRegression
 from .mlp import DataWigImputer, RRSIImputer
+from .ot_direct import OtDirectReport, SinkhornImputer
 from .registry import REGISTRY, imputer_names, make_imputer
 from .simple import ConstantImputer, KNNImputer, MeanImputer, MedianImputer, ModeImputer
 from .trees import AdaBoostRegressor, DecisionTreeRegressor, RandomForestRegressor
@@ -33,6 +34,8 @@ __all__ = [
     "HIVAEImputer",
     "GAINImputer",
     "GINNImputer",
+    "SinkhornImputer",
+    "OtDirectReport",
     "knn_graph_adjacency",
     "DecisionTreeRegressor",
     "RandomForestRegressor",

@@ -109,6 +109,8 @@ class GAINImputer(GenerativeImputer):
         on_divergence: str = "warn",
     ) -> None:
         super().__init__()
+        if not 0.0 <= hint_rate <= 1.0:
+            raise ValueError(f"hint_rate must be in [0, 1], got {hint_rate}")
         self.hidden = hidden
         self.hint_rate = hint_rate
         self.alpha = alpha

@@ -13,6 +13,7 @@ from .em import GaussianEMImputer
 from .gan import GAINImputer, GINNImputer
 from .ml import BaranImputer, MICEImputer, MissForestImputer
 from .mlp import DataWigImputer, RRSIImputer
+from .ot_direct import SinkhornImputer
 from .simple import KNNImputer, MeanImputer, MedianImputer, ModeImputer
 
 __all__ = ["REGISTRY", "make_imputer", "imputer_names"]
@@ -36,6 +37,7 @@ REGISTRY: Dict[str, Callable[..., Imputer]] = {
     "hivae": HIVAEImputer,
     "ginn": GINNImputer,
     "gain": GAINImputer,
+    "otdirect": SinkhornImputer,
 }
 
 

@@ -178,11 +178,11 @@ class TestDiff:
 
 
 class TestSmokeBenchAndCli:
-    def test_run_smoke_bench_produces_four_methods(self):
+    def test_run_smoke_bench_produces_five_methods(self):
         with recording() as rec:
             results = run_smoke_bench(n_samples=48, epochs=1)
         assert {r.method for r in results} == {
-            "mean", "knn", "dim-gain", "dim-gain-adv",
+            "mean", "knn", "dim-gain", "dim-gain-adv", "otdirect",
         }
         assert all(r.available for r in results)
         metrics = snapshot_from_trace(trace_to_dict(rec), name="s")["metrics"]

@@ -175,3 +175,52 @@ class TestMinimumSizeSearch:
         assert result.evaluations
         assert result.seconds >= 0
         assert result.threshold == 1.0
+
+
+class TestOtDirectLeg:
+    """SSE applies beyond the GAN family: the paper's formula only needs a
+    differentiable generator, which OT-direct's distributional-fit MLP
+    provides."""
+
+    @pytest.fixture
+    def ot_trained(self, small_incomplete, rng):
+        from repro.models import SinkhornImputer
+
+        holdout = holdout_split(small_incomplete, 0.2, rng)
+        split = holdout.train.split_validation_initial(80, 80, rng)
+        model = SinkhornImputer(epochs=10, batch_size=16, mlp_epochs=10, seed=0)
+        model.fit(split.initial)
+        return model, split
+
+    def test_n_star_estimation_converges(self, ot_trained, rng):
+        model, split = ot_trained
+        config = SseConfig(error_bound=0.02)
+        sse = SSE(model, split.validation.values, split.validation.mask, config, rng)
+        sse.prepare(split.initial.values, split.initial.mask)
+        result = sse.estimate_minimum_size(80, 400)
+        assert 80 <= result.n_star <= 400
+        assert result.minimum_size == result.n_star
+        assert result.sample_rate == result.n_star / 400
+        assert result.evaluations
+
+    def test_sse_telemetry_fires_for_ot_direct(self, ot_trained, rng):
+        from repro.obs import recording
+
+        model, split = ot_trained
+        with recording() as records:
+            sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+            sse.prepare(split.initial.values, split.initial.mask)
+            sse.estimate_minimum_size(80, 400)
+        names = {event.name for event in records.events}
+        assert "sse.evaluation" in names
+        assert "sse.search_step" in names
+        assert "sse.result" in names
+
+    def test_hessian_diagonal_positive_for_ot_direct(self, ot_trained, rng):
+        model, split = ot_trained
+        sse = SSE(model, split.validation.values, split.validation.mask, rng=rng)
+        diagonal = sse.estimate_hessian_diagonal(
+            split.initial.values, split.initial.mask
+        )
+        assert (diagonal > 0).all()
+        assert diagonal.size == model.generator.num_parameters()

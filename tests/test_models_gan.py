@@ -96,6 +96,15 @@ class TestGAINSpecifics:
         model.build(12)
         assert model.generator.layers[0].out_features == 12
 
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0, -1e-9])
+    def test_hint_rate_outside_unit_interval_rejected(self, bad):
+        with pytest.raises(ValueError, match="hint_rate"):
+            GAINImputer(hint_rate=bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_hint_rate_boundary_values_accepted(self, ok):
+        assert GAINImputer(hint_rate=ok).hint_rate == ok
+
 
 class TestKnnGraph:
     def test_symmetric(self, rng):

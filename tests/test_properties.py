@@ -150,6 +150,57 @@ class TestDataProperties:
         assert not np.isnan(imputed).any()
 
 
+class TestOtDirectProperties:
+    """Invariants of direct batch-Sinkhorn imputation (`SinkhornImputer`)."""
+
+    @staticmethod
+    def _fast_imputer(**overrides):
+        from repro.models import SinkhornImputer
+
+        kwargs = dict(
+            epochs=2, batch_size=4, sinkhorn_max_iter=25, fit_mlp=False, seed=0
+        )
+        kwargs.update(overrides)
+        return SinkhornImputer(**kwargs)
+
+    @given(matrices(min_rows=8, max_rows=16, min_cols=2), st.floats(0.0, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_observed_cells_byte_identical_through_fit_impute(self, data, rate):
+        # The same invariant the streaming path guarantees: fit_impute is a
+        # copy-and-assign of the missing positions, so observed cells come
+        # back byte-for-byte, not merely approximately.
+        rng = np.random.default_rng(3)
+        values = data.copy()
+        values[rng.random(values.shape) < rate] = np.nan
+        ds = IncompleteDataset(values)
+        out = self._fast_imputer().fit_impute(ds)
+        observed = ds.mask == 1.0
+        assert np.array_equal(out[observed], values[observed])
+        assert not np.isnan(out).any()
+
+    def test_imputation_invariant_to_pair_visiting_order(self, rng):
+        # With a fixed batch partition, gradients are accumulated over the
+        # whole round before the single optimiser step, so visiting the
+        # round's pairs in any order only permutes a floating-point sum.
+        from repro.models import SinkhornImputer
+
+        class ReversedPairs(SinkhornImputer):
+            def _round_pairs(self, round_index, n_batches):
+                return list(reversed(super()._round_pairs(round_index, n_batches)))
+
+        n, d = 64, 5
+        full = rng.normal(size=(n, 2)) @ rng.normal(size=(2, d))
+        values = full.copy()
+        values[rng.random((n, d)) < 0.3] = np.nan
+        ds = IncompleteDataset(values)
+        kwargs = dict(
+            epochs=6, batch_size=16, seed=0, fit_mlp=False, fixed_batch_order=True
+        )
+        forward = SinkhornImputer(**kwargs).fit_impute(ds)
+        backward = ReversedPairs(**kwargs).fit_impute(ds)
+        assert np.allclose(forward, backward, atol=1e-9, rtol=1e-9)
+
+
 # ---------------------------------------------------------------------------
 # Parallel execution: seeded-random parity properties and golden pins
 # ---------------------------------------------------------------------------
@@ -267,6 +318,7 @@ class TestGoldenDeterminism:
         "knn": 0.25245939270961376,
         "dim-gain": 0.333446642271172,
         "dim-gain-adv": 0.32949946274227154,
+        "otdirect": 0.27471473372462857,
     }
 
     @pytest.mark.parallel
